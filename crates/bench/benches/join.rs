@@ -1,0 +1,53 @@
+//! Criterion benches for the hash-join probe (Figure 13): scalar vs
+//! vertical-SIMD vs group-prefetch probing, at an in-cache and an
+//! out-of-cache hash-table size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crystal_cpu::join::{probe_prefetch, probe_scalar, probe_simd, CpuHashTable};
+use crystal_hardware::{KIB, MIB};
+use crystal_storage::gen;
+
+const PROBE_N: usize = 1 << 20;
+
+fn bench_probe(c: &mut Criterion) {
+    let threads = crystal_cpu::exec::default_threads();
+    let mut g = c.benchmark_group("fig13_join_probe");
+    g.throughput(Throughput::Elements(PROBE_N as u64));
+    g.sample_size(10);
+    for ht_bytes in [64 * KIB, 64 * MIB] {
+        let slots = ht_bytes / 8;
+        let build_n = slots / 2;
+        let keys = gen::shuffled_keys(build_n, 1);
+        let vals: Vec<i32> = (0..build_n as i32).collect();
+        let ht = CpuHashTable::build_parallel(&keys, &vals, slots, threads);
+        let pk = gen::foreign_keys(PROBE_N, build_n, 2);
+        let pv = vec![1i32; PROBE_N];
+        let label = crystal_hardware::bytes::fmt_bytes(ht_bytes);
+        g.bench_with_input(BenchmarkId::new("scalar", &label), &(), |b, _| {
+            b.iter(|| probe_scalar(&ht, &pk, &pv, threads))
+        });
+        g.bench_with_input(BenchmarkId::new("simd", &label), &(), |b, _| {
+            b.iter(|| probe_simd(&ht, &pk, &pv, threads))
+        });
+        g.bench_with_input(BenchmarkId::new("prefetch", &label), &(), |b, _| {
+            b.iter(|| probe_prefetch(&ht, &pk, &pv, threads))
+        });
+    }
+    g.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let threads = crystal_cpu::exec::default_threads();
+    let mut g = c.benchmark_group("fig13_join_build");
+    g.sample_size(10);
+    let build_n = 1 << 18;
+    let keys = gen::shuffled_keys(build_n, 1);
+    let vals: Vec<i32> = (0..build_n as i32).collect();
+    g.bench_function("parallel_cas_build", |b| {
+        b.iter(|| CpuHashTable::build_parallel(&keys, &vals, build_n * 2, threads))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_probe, bench_build);
+criterion_main!(benches);

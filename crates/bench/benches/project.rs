@@ -1,0 +1,35 @@
+//! Criterion benches for the projection microbenchmark (Figure 10):
+//! naive vs 8-lane CPU variants of Q1 (linear) and Q2 (sigmoid UDF).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use crystal_cpu::project::{
+    project_linear_naive, project_linear_opt, project_sigmoid_naive, project_sigmoid_opt,
+};
+use crystal_storage::gen;
+
+const N: usize = 1 << 20;
+
+fn bench_project(c: &mut Criterion) {
+    let x1 = gen::uniform_f32(N, 3);
+    let x2 = gen::uniform_f32(N, 4);
+    let threads = crystal_cpu::exec::default_threads();
+    let mut g = c.benchmark_group("fig10_project_cpu");
+    g.throughput(Throughput::Bytes((3 * N * 4) as u64));
+    g.sample_size(10);
+    g.bench_function("q1_linear_naive", |b| {
+        b.iter(|| project_linear_naive(&x1, &x2, 2.0, 3.0, threads))
+    });
+    g.bench_function("q1_linear_opt", |b| {
+        b.iter(|| project_linear_opt(&x1, &x2, 2.0, 3.0, threads))
+    });
+    g.bench_function("q2_sigmoid_naive", |b| {
+        b.iter(|| project_sigmoid_naive(&x1, &x2, 2.0, 3.0, threads))
+    });
+    g.bench_function("q2_sigmoid_opt", |b| {
+        b.iter(|| project_sigmoid_opt(&x1, &x2, 2.0, 3.0, threads))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_project);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benches for radix partitioning and sort (Figure 14 and
+//! Section 4.4): histogram and stable-shuffle passes across radix widths,
+//! plus the full CPU LSB sort.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crystal_cpu::radix::{lsb_radix_sort, radix_histogram, radix_partition_stable};
+use crystal_storage::gen;
+
+const N: usize = 1 << 20;
+
+fn keys() -> Vec<u32> {
+    gen::uniform_i32(N, 5).iter().map(|&k| k as u32).collect()
+}
+
+fn bench_phases(c: &mut Criterion) {
+    let keys = keys();
+    let vals: Vec<u32> = (0..N as u32).collect();
+    let threads = crystal_cpu::exec::default_threads();
+    let mut g = c.benchmark_group("fig14_radix_cpu");
+    g.throughput(Throughput::Bytes((N * 8) as u64));
+    g.sample_size(10);
+    for bits in [4u32, 8, 11] {
+        g.bench_with_input(BenchmarkId::new("histogram", bits), &bits, |b, &bits| {
+            b.iter(|| radix_histogram(&keys, bits, 0, threads))
+        });
+        g.bench_with_input(BenchmarkId::new("stable_shuffle", bits), &bits, |b, &bits| {
+            b.iter(|| radix_partition_stable(&keys, &vals, bits, 0, threads))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let keys = keys();
+    let vals: Vec<u32> = (0..N as u32).collect();
+    let threads = crystal_cpu::exec::default_threads();
+    let mut g = c.benchmark_group("sort_full_cpu");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    g.bench_function("lsb_radix_sort", |b| {
+        b.iter(|| lsb_radix_sort(&keys, &vals, threads))
+    });
+    g.bench_function("std_sort_baseline", |b| {
+        b.iter(|| {
+            let mut pairs: Vec<(u32, u32)> =
+                keys.iter().copied().zip(vals.iter().copied()).collect();
+            pairs.sort_unstable_by_key(|&(k, _)| k);
+            pairs
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_phases, bench_sort);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches for the selection scan (Figure 12): the three real
+//! CPU variants across selectivities, plus the simulated-GPU kernel's
+//! host-side throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crystal_cpu::select::{select_branching, select_predication, select_simd_pred};
+use crystal_gpu_sim::exec::LaunchConfig;
+use crystal_gpu_sim::Gpu;
+use crystal_hardware::nvidia_v100;
+use crystal_storage::gen;
+
+const N: usize = 1 << 20;
+const DOMAIN: i32 = 1 << 20;
+
+fn bench_cpu_variants(c: &mut Criterion) {
+    let data = gen::uniform_i32_domain(N, DOMAIN, 7);
+    let threads = crystal_cpu::exec::default_threads();
+    let mut g = c.benchmark_group("fig12_select_cpu");
+    g.throughput(Throughput::Bytes((N * 4) as u64));
+    g.sample_size(10);
+    for sigma in [0.1f64, 0.5, 0.9] {
+        let v = gen::threshold_for_selectivity(DOMAIN, sigma);
+        g.bench_with_input(BenchmarkId::new("branching", sigma), &v, |b, &v| {
+            b.iter(|| select_branching(&data, v, threads))
+        });
+        g.bench_with_input(BenchmarkId::new("predication", sigma), &v, |b, &v| {
+            b.iter(|| select_predication(&data, v, threads))
+        });
+        g.bench_with_input(BenchmarkId::new("simd_pred", sigma), &v, |b, &v| {
+            b.iter(|| select_simd_pred(&data, v, threads))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gpu_sim(c: &mut Criterion) {
+    let data = gen::uniform_i32_domain(N, DOMAIN, 7);
+    let v = gen::threshold_for_selectivity(DOMAIN, 0.5);
+    let mut g = c.benchmark_group("fig12_select_gpu_sim");
+    g.throughput(Throughput::Bytes((N * 4) as u64));
+    g.sample_size(10);
+    g.bench_function("crystal_kernel", |b| {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let col = gpu.alloc_from(&data);
+        b.iter(|| {
+            let (out, r) =
+                crystal_core::kernels::select_where(&mut gpu, &col, LaunchConfig::default_for_items(N), |y| y < v);
+            gpu.free(out);
+            r.time.total_secs()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cpu_variants, bench_gpu_sim);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benches for the Star Schema Benchmark engines (Figures 3 and
+//! 16): the real CPU engine styles on a small SSB instance, one bench per
+//! engine per representative query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crystal_ssb::engines::{cpu, hyper, monet};
+use crystal_ssb::queries::{query, QueryId};
+use crystal_ssb::SsbData;
+
+fn bench_engines(c: &mut Criterion) {
+    // ~600k fact rows: big enough to show engine-style differences.
+    let d = SsbData::generate_scaled(1, 0.1, 99);
+    let threads = crystal_cpu::exec::default_threads();
+    let mut g = c.benchmark_group("fig16_ssb_cpu_engines");
+    g.throughput(Throughput::Elements(d.lineorder.rows() as u64));
+    g.sample_size(10);
+    for id in [QueryId::new(1, 1), QueryId::new(2, 1), QueryId::new(3, 2), QueryId::new(4, 1)] {
+        let q = query(&d, id);
+        g.bench_with_input(BenchmarkId::new("standalone_fused", id.to_string()), &(), |b, _| {
+            b.iter(|| cpu::execute(&d, &q, threads))
+        });
+        g.bench_with_input(BenchmarkId::new("hyper_tuple_at_a_time", id.to_string()), &(), |b, _| {
+            b.iter(|| hyper::execute(&d, &q, threads))
+        });
+        g.bench_with_input(BenchmarkId::new("monetdb_materializing", id.to_string()), &(), |b, _| {
+            b.iter(|| monet::execute(&d, &q, threads))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benches for the tile-based execution model (Figure 9,
+//! Section 3.3): simulator wall-clock across tile shapes and against the
+//! independent-threads baseline. The interesting output is the *simulated*
+//! time (see `reproduce fig9`); these benches track the simulator's own
+//! host-side cost so regressions in the harness stay visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crystal_core::kernels::{independent_select_gt, select_where};
+use crystal_gpu_sim::exec::LaunchConfig;
+use crystal_gpu_sim::Gpu;
+use crystal_hardware::nvidia_v100;
+use crystal_storage::gen;
+
+const N: usize = 1 << 18;
+
+fn bench_tile_shapes(c: &mut Criterion) {
+    let data = gen::uniform_i32_domain(N, 1 << 20, 11);
+    let v = gen::threshold_for_selectivity(1 << 20, 0.5);
+    let mut g = c.benchmark_group("fig9_tile_shapes_sim");
+    g.sample_size(10);
+    for (bs, ipt) in [(32usize, 1usize), (128, 4), (1024, 4)] {
+        let label = format!("bs{bs}_ipt{ipt}");
+        g.bench_with_input(BenchmarkId::new("select", label), &(), |b, _| {
+            let mut gpu = Gpu::new(nvidia_v100());
+            let col = gpu.alloc_from(&data);
+            b.iter(|| {
+                let (out, r) =
+                    select_where(&mut gpu, &col, LaunchConfig::for_items(N, bs, ipt), |y| y > v);
+                gpu.free(out);
+                r.stats.blocks
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_vs_independent(c: &mut Criterion) {
+    let data = gen::uniform_i32_domain(N, 1 << 20, 11);
+    let v = gen::threshold_for_selectivity(1 << 20, 0.5);
+    let mut g = c.benchmark_group("section33_model_comparison_sim");
+    g.sample_size(10);
+    g.bench_function("crystal_tile", |b| {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let col = gpu.alloc_from(&data);
+        b.iter(|| {
+            let (out, r) =
+                select_where(&mut gpu, &col, LaunchConfig::default_for_items(N), |y| y > v);
+            gpu.free(out);
+            r.stats.blocks
+        })
+    });
+    g.bench_function("independent_threads", |b| {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let col = gpu.alloc_from(&data);
+        b.iter(|| {
+            let (out, rs) = independent_select_gt(&mut gpu, &col, v);
+            gpu.free(out);
+            rs.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tile_shapes, bench_vs_independent);
+criterion_main!(benches);

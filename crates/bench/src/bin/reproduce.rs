@@ -1,0 +1,100 @@
+//! `reproduce` — regenerates every table and figure of the paper's
+//! evaluation.
+//!
+//! ```text
+//! reproduce [experiment...]
+//!
+//! experiments:
+//!   table2      hardware specifications (Table 2)
+//!   fig3        coprocessor vs MonetDB vs Hyper (Figure 3)
+//!   fig9        selection tile-size sweep (Figure 9)
+//!   tile-model  Crystal vs independent-threads selection (Section 3.3)
+//!   fig10       projection microbenchmark (Figure 10)
+//!   fig12       selection microbenchmark (Figure 12)
+//!   fig13       hash-join microbenchmark (Figure 13)
+//!   fig14       radix partitioning passes (Figure 14)
+//!   sort        full radix sorts (Section 4.4)
+//!   fig16       Star Schema Benchmark, four engines (Figure 16)
+//!   case-study  SSB q2.1 model breakdown (Section 5.3)
+//!   table3      cost comparison (Table 3, Section 5.4)
+//!   ablations   ablation studies (radix join, join order, multi-GPU,
+//!               group-by fan-out); also individually as
+//!               ablation-radix-join / ablation-join-order /
+//!               ablation-multi-gpu / ablation-agg /
+//!               ablation-compression
+//!   whatif      operator gains on a newer CPU/GPU pairing (Section 5.4)
+//!   scorecard   every headline number vs its tolerance band (exits
+//!               non-zero on a miss)
+//!   all         everything above (default)
+//!
+//! environment:
+//!   CRYSTAL_MICRO_LOG2N (22)  CRYSTAL_SF (1)  CRYSTAL_FACT_SCALE (0.02)
+//!   CRYSTAL_THREADS (cores)   CRYSTAL_REPS (3)
+//! ```
+
+use crystal_bench::util::Config;
+use crystal_bench::{micro, ssb_exp, tables};
+
+fn main() {
+    let cfg = Config::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wants: Vec<&str> = if args.is_empty() {
+        vec!["all"]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+
+    println!("crystal-rs experiment harness");
+    println!(
+        "host config: micro N = 2^{}, SSB SF 20 fact sample = {}, threads = {}, reps = {}",
+        cfg.micro_log2n, cfg.fact_scale, cfg.threads, cfg.reps
+    );
+    println!("paper-scale columns use Table 2 hardware and paper workload sizes.");
+
+    for want in wants {
+        match want {
+            "table2" => tables::table2(),
+            "fig3" => ssb_exp::fig3(&cfg),
+            "fig9" => micro::fig9(&cfg),
+            "tile-model" => micro::tile_model(&cfg),
+            "fig10" => micro::fig10(&cfg),
+            "fig12" => micro::fig12(&cfg),
+            "fig13" => micro::fig13(&cfg),
+            "fig14" => micro::fig14(&cfg),
+            "sort" => micro::sort_exp(&cfg),
+            "fig16" => ssb_exp::fig16(&cfg),
+            "case-study" => ssb_exp::case_study(&cfg),
+            // The Figure 16 mean feeds Table 3; when run standalone we use
+            // the paper's 25x headline.
+            "table3" => tables::table3(25.0),
+            "ablation-radix-join" => crystal_bench::ablation::radix_join(&cfg),
+            "ablation-join-order" => crystal_bench::ablation::join_order(&cfg),
+            "ablation-multi-gpu" => crystal_bench::ablation::multi_gpu(&cfg),
+            "ablation-agg" => crystal_bench::ablation::agg_groups(&cfg),
+            "ablation-compression" => crystal_bench::ablation::compression(&cfg),
+            "ablation-hybrid" => crystal_bench::ablation::hybrid(&cfg),
+            "ablation-skew" => crystal_bench::ablation::skew(&cfg),
+            "ablations" => crystal_bench::ablation::run_all(&cfg),
+            "whatif" => tables::whatif(),
+            "scorecard" => {
+                if !crystal_bench::scorecard::scorecard(&cfg) {
+                    std::process::exit(1);
+                }
+            }
+            "all" => {
+                tables::table2();
+                micro::run_all(&cfg);
+                ssb_exp::run_all(&cfg);
+                tables::table3(25.0);
+                crystal_bench::ablation::run_all(&cfg);
+                tables::whatif();
+                crystal_bench::scorecard::scorecard(&cfg);
+            }
+            other => {
+                eprintln!("unknown experiment: {other}");
+                eprintln!("known: table2 fig3 fig9 tile-model fig10 fig12 fig13 fig14 sort fig16 case-study table3 ablations whatif scorecard all (plus ablation-radix-join ablation-join-order ablation-multi-gpu ablation-agg ablation-compression ablation-hybrid ablation-skew)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

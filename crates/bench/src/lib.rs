@@ -1,0 +1,22 @@
+//! # crystal-bench — the experiment harness
+//!
+//! One module per evaluation artifact of the paper. The `reproduce` binary
+//! regenerates every table and figure; `benches/` contains Criterion
+//! micro-benchmarks of the real CPU operators and the simulator throughput.
+//!
+//! Two kinds of numbers are reported side by side (see EXPERIMENTS.md):
+//!
+//! * **paper-scale** — simulated GPU runtimes (trace-driven, Table 2
+//!   V100) and modeled CPU runtimes (Table 2 i7-6900), at the paper's
+//!   workload sizes. These are the reproduction targets.
+//! * **host-measured** — wall-clock times of the real CPU implementations
+//!   on the current machine at a reduced scale; they validate *relative*
+//!   behaviour (predication vs branching, SIMD join overhead, fused vs
+//!   materializing engines), not absolute paper numbers.
+
+pub mod ablation;
+pub mod scorecard;
+pub mod micro;
+pub mod ssb_exp;
+pub mod tables;
+pub mod util;

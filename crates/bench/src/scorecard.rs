@@ -1,0 +1,210 @@
+//! The reproduction scorecard: every headline number of the paper,
+//! recomputed live and checked against a tolerance band.
+//!
+//! `reproduce scorecard` is the one-command answer to "does this
+//! reproduction hold?" — it exits non-zero if any band is missed, so CI
+//! can gate on it.
+
+use crystal_gpu_sim::Gpu;
+use crystal_hardware::{bandwidth_ratio, intel_i7_6900, nvidia_v100, MIB};
+use crystal_models as models;
+use crystal_ssb::engines::cpu as cpu_engine;
+use crystal_ssb::queries::all_queries;
+use crystal_ssb::{model as qmodel, SsbData};
+
+use crate::util::{Config, Report};
+
+struct Check {
+    name: &'static str,
+    paper: f64,
+    reproduced: f64,
+    lo: f64,
+    hi: f64,
+}
+
+impl Check {
+    fn passes(&self) -> bool {
+        (self.lo..=self.hi).contains(&self.reproduced)
+    }
+}
+
+/// Computes and prints the scorecard; returns false if any band is missed.
+pub fn scorecard(cfg: &Config) -> bool {
+    let cpu = intel_i7_6900();
+    let gpu_spec = nvidia_v100();
+    let n = 1usize << 28;
+    let mut checks = Vec::new();
+
+    // Bandwidth ratio (Table 2 / Section 1).
+    checks.push(Check {
+        name: "bandwidth ratio",
+        paper: 16.2,
+        reproduced: bandwidth_ratio(&cpu, &gpu_spec),
+        lo: 15.5,
+        hi: 17.5,
+    });
+
+    // Section 4.1: projection gain ~ bandwidth ratio.
+    checks.push(Check {
+        name: "project CPU-Opt/GPU (paper 16.56x)",
+        paper: 16.56,
+        reproduced: models::project::project_secs(n, cpu.read_bw, cpu.write_bw)
+            / models::project::project_secs(n, gpu_spec.read_bw, gpu_spec.write_bw),
+        lo: 15.0,
+        hi: 18.0,
+    });
+
+    // Section 4.2: mean selection ratio across the sweep.
+    let select_mean = {
+        let mut acc = 0.0;
+        for step in 0..=10 {
+            let s = step as f64 / 10.0;
+            acc += models::select::select_secs(n, s, cpu.read_bw, cpu.write_bw)
+                / models::select::select_secs(n, s, gpu_spec.read_bw, gpu_spec.write_bw);
+        }
+        acc / 11.0
+    };
+    checks.push(Check {
+        name: "select mean CPU/GPU (paper 15.8x)",
+        paper: 15.8,
+        reproduced: select_mean,
+        lo: 14.5,
+        hi: 17.5,
+    });
+
+    // Section 4.3: the three join regimes.
+    checks.push(Check {
+        name: "join 32-128KB gain (paper ~5.5x)",
+        paper: 5.5,
+        reproduced: models::join::join_probe_cpu_secs(n, 64 * 1024, &cpu)
+            / models::join::join_probe_gpu_secs(n, 64 * 1024, &gpu_spec),
+        lo: 4.0,
+        hi: 7.0,
+    });
+    checks.push(Check {
+        name: "join out-of-cache gain (paper 10.5x)",
+        paper: 10.5,
+        reproduced: models::join::join_probe_cpu_empirical_secs(n, 512 * MIB, &cpu)
+            / models::join::join_probe_gpu_secs(n, 512 * MIB, &gpu_spec),
+        lo: 9.0,
+        hi: 12.5,
+    });
+
+    // Section 4.4: sort gain.
+    checks.push(Check {
+        name: "sort gain (paper 17.13x)",
+        paper: 17.13,
+        reproduced: models::sort::radix_sort_secs(n, 4, cpu.read_bw, cpu.write_bw)
+            / models::sort::radix_sort_secs(n, 4, gpu_spec.read_bw, gpu_spec.write_bw),
+        lo: 15.0,
+        hi: 18.5,
+    });
+
+    // Section 5.3: q2.1 model endpoints.
+    let p21 = models::ssb::Q21Params::sf20();
+    checks.push(Check {
+        name: "q2.1 GPU model ms (paper 3.7)",
+        paper: 3.7,
+        reproduced: models::ssb::q21_gpu_model(&p21, &gpu_spec).total() * 1e3,
+        lo: 2.0,
+        hi: 5.0,
+    });
+    checks.push(Check {
+        name: "q2.1 CPU empirical ms (paper 125)",
+        paper: 125.0,
+        reproduced: models::ssb::q21_cpu_empirical_secs(&p21, &cpu) * 1e3,
+        lo: 95.0,
+        hi: 160.0,
+    });
+
+    // Figure 16: mean SSB speedup (trace-driven; one shared dataset).
+    let d = SsbData::generate_scaled(20, cfg.fact_scale.min(0.005), 20_2020);
+    let mut ratios = Vec::new();
+    for q in all_queries(&d) {
+        let (_, trace) = cpu_engine::execute(&d, &q, cfg.threads);
+        ratios.push(
+            qmodel::cpu_empirical_secs(&q, &trace, &cpu) / qmodel::gpu_secs(&q, &trace, &gpu_spec),
+        );
+    }
+    let geo = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    checks.push(Check {
+        name: "SSB mean speedup (paper ~25x)",
+        paper: 25.0,
+        reproduced: geo,
+        lo: 18.0,
+        hi: 35.0,
+    });
+
+    // Section 5.4: cost effectiveness.
+    checks.push(Check {
+        name: "cost effectiveness (paper ~4x)",
+        paper: 4.0,
+        reproduced: models::cost::cost_effectiveness(
+            geo,
+            models::cost::table3_renting().cost_ratio(),
+        ),
+        lo: 3.0,
+        hi: 6.0,
+    });
+
+    // Section 3.3: Crystal vs independent threads (small simulation).
+    let mut gpu = Gpu::new(gpu_spec.clone());
+    let data = crystal_storage::gen::uniform_i32_domain(1 << 20, 1 << 20, 1);
+    let v = 1 << 19;
+    let col = gpu.alloc_from(&data);
+    let (out, crystal) = crystal_core::kernels::select_where(
+        &mut gpu,
+        &col,
+        crystal_gpu_sim::exec::LaunchConfig::default_for_items(data.len()),
+        move |y| y > v,
+    );
+    gpu.free(out);
+    let (out, indep) = crystal_core::kernels::independent_select_gt(&mut gpu, &col, v);
+    gpu.free(out);
+    let t_i: f64 = indep.iter().map(|r| r.time.bottleneck_secs()).sum();
+    checks.push(Check {
+        name: "tile-model speedup (paper 9x; sim conservative)",
+        paper: 9.0,
+        reproduced: t_i / crystal.time.bottleneck_secs(),
+        lo: 2.5,
+        hi: 12.0,
+    });
+
+    let mut report = Report::new(
+        "scorecard",
+        &["claim", "paper", "reproduced", "band", "verdict"],
+    );
+    let mut all_ok = true;
+    for c in &checks {
+        all_ok &= c.passes();
+        report.row(vec![
+            c.name.to_string(),
+            format!("{:.2}", c.paper),
+            format!("{:.2}", c.reproduced),
+            format!("[{:.1}, {:.1}]", c.lo, c.hi),
+            if c.passes() { "ok".into() } else { "MISS".into() },
+        ]);
+    }
+    report.finish();
+    println!(
+        "{} of {} reproduction bands hold",
+        checks.iter().filter(|c| c.passes()).count(),
+        checks.len()
+    );
+    all_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The scorecard itself is part of the test suite: every reproduction
+    /// band must hold.
+    #[test]
+    fn all_bands_hold() {
+        let mut cfg = Config::from_env();
+        cfg.fact_scale = 0.002;
+        cfg.threads = 2;
+        assert!(scorecard(&cfg), "a reproduction band was missed");
+    }
+}

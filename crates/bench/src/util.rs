@@ -1,0 +1,180 @@
+//! Harness utilities: configuration, timing, table and CSV output.
+
+use std::time::Instant;
+
+/// Experiment configuration, overridable via environment variables.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// log2 of the microbenchmark array size executed on this host
+    /// (`CRYSTAL_MICRO_LOG2N`, default 22). Simulated/modeled results are
+    /// reported at the paper's 2^28 regardless.
+    pub micro_log2n: u32,
+    /// SSB scale factor for host execution (`CRYSTAL_SF`, default 1).
+    pub sf: usize,
+    /// Fact-table sampling for the paper-scale simulation runs
+    /// (`CRYSTAL_FACT_SCALE`, default 0.02 of SF-20's 120M rows).
+    pub fact_scale: f64,
+    /// Worker threads (`CRYSTAL_THREADS`, default all cores).
+    pub threads: usize,
+    /// Timing repetitions (`CRYSTAL_REPS`, default 3).
+    pub reps: usize,
+}
+
+impl Config {
+    pub fn from_env() -> Self {
+        fn var<T: std::str::FromStr>(name: &str, default: T) -> T {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        }
+        Config {
+            micro_log2n: var("CRYSTAL_MICRO_LOG2N", 22),
+            sf: var("CRYSTAL_SF", 1),
+            fact_scale: var("CRYSTAL_FACT_SCALE", 0.02),
+            threads: var("CRYSTAL_THREADS", crystal_cpu::exec::default_threads()),
+            reps: var("CRYSTAL_REPS", 3),
+        }
+    }
+
+    /// Host-executed microbenchmark size.
+    pub fn micro_n(&self) -> usize {
+        1usize << self.micro_log2n
+    }
+
+    /// The paper's microbenchmark size (2^28 4-byte entries; see
+    /// EXPERIMENTS.md on the 2^29-vs-2^28 discrepancy in the paper text).
+    pub const PAPER_LOG2N: u32 = 28;
+
+    pub fn paper_n(&self) -> usize {
+        1usize << Self::PAPER_LOG2N
+    }
+
+    /// Multiplier from host-run sizes to paper sizes.
+    pub fn scale_to_paper(&self) -> f64 {
+        self.paper_n() as f64 / self.micro_n() as f64
+    }
+}
+
+/// Median wall-clock seconds of `reps` runs of `f`.
+pub fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+/// A printed table that also lands in `results/<name>.csv`.
+pub struct Report {
+    name: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    pub fn new(name: &str, headers: &[&str]) -> Self {
+        Report {
+            name: name.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "ragged report row");
+        self.rows.push(cells);
+    }
+
+    /// Prints an aligned table to stdout and writes the CSV.
+    pub fn finish(self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        println!("\n== {} ==", self.name);
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                s.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.headers);
+        for row in &self.rows {
+            line(row);
+        }
+
+        if let Err(e) = self.write_csv() {
+            eprintln!("warning: could not write results CSV: {e}");
+        }
+    }
+
+    fn write_csv(&self) -> std::io::Result<()> {
+        std::fs::create_dir_all("results")?;
+        let path = format!("results/{}.csv", self.name);
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        std::fs::write(path, out)
+    }
+}
+
+/// Milliseconds with 2 decimals.
+pub fn ms(secs: f64) -> String {
+    format!("{:.2}", secs * 1e3)
+}
+
+/// Scales a simulated kernel time from host-run size to paper size: the
+/// resource-bound part grows linearly with the data, the fixed launch
+/// overhead does not.
+pub fn scale_kernel(r: &crystal_gpu_sim::KernelReport, scale: f64) -> f64 {
+    r.time.bottleneck_secs() * scale + r.time.launch
+}
+
+/// Scales a multi-kernel operator.
+pub fn scale_kernels(rs: &[crystal_gpu_sim::KernelReport], scale: f64) -> f64 {
+    rs.iter().map(|r| scale_kernel(r, scale)).sum()
+}
+
+/// A ratio with 1 decimal.
+pub fn ratio(r: f64) -> String {
+    format!("{r:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = Config::from_env();
+        assert!(c.micro_log2n >= 16 && c.micro_log2n <= 30);
+        assert!(c.threads >= 1);
+        assert!(c.scale_to_paper() >= 1.0);
+    }
+
+    #[test]
+    fn median_of_reps() {
+        let mut calls = 0;
+        let t = time_median(3, || calls += 1);
+        assert_eq!(calls, 3);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(ms(0.00123), "1.23");
+        assert_eq!(ratio(16.234), "16.2x");
+    }
+}

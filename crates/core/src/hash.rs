@@ -1,0 +1,275 @@
+//! Device-side hash tables.
+//!
+//! The paper's join microbenchmark (Section 4.3) and the SSB dimension
+//! tables use an open-addressing, linear-probing table whose slots are a
+//! bare `(key, payload)` pair — "the hash table is simply an array of slots
+//! with each slot containing a key and a payload but no pointers". Two
+//! hashing schemes are provided:
+//!
+//! * [`HashScheme::Mult`] — multiplicative (Fibonacci) hashing into a
+//!   power-of-two slot array with linear probing; used by the join
+//!   microbenchmark.
+//! * [`HashScheme::Perfect`] — direct indexing by `key - min`, the perfect
+//!   hashing the paper applies to SSB dimension keys ("the size of the part
+//!   hash table (with perfect hashing) is 2 x 4 x 1M = 8MB", Section 5.3).
+//!
+//! The probe path accounts one cache-simulated gather per slot inspected,
+//! which is what produces the Figure 13 cache-capacity step functions.
+
+use crystal_gpu_sim::exec::{BlockCtx, LaunchConfig};
+use crystal_gpu_sim::mem::DeviceBuffer;
+use crystal_gpu_sim::stats::KernelReport;
+use crystal_gpu_sim::Gpu;
+
+/// Slot encoding: high 32 bits = key + 1 (so zero means empty), low 32 bits
+/// = payload.
+const EMPTY: u64 = 0;
+
+#[inline]
+fn pack(key: i32, val: i32) -> u64 {
+    (((key as u32 as u64).wrapping_add(1)) << 32) | (val as u32 as u64)
+}
+
+#[inline]
+fn slot_key(slot: u64) -> Option<i32> {
+    if slot == EMPTY {
+        None
+    } else {
+        Some(((slot >> 32) as u32).wrapping_sub(1) as i32)
+    }
+}
+
+#[inline]
+fn slot_val(slot: u64) -> i32 {
+    slot as u32 as i32
+}
+
+/// How keys map to their home slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HashScheme {
+    /// Fibonacci multiplicative hash into a power-of-two table, resolving
+    /// collisions with linear probing.
+    Mult,
+    /// Perfect hashing: slot = `key - min` (requires dense, unique keys and
+    /// `num_slots >= max - min + 1`).
+    Perfect { min: i32 },
+}
+
+/// An open-addressing hash table in device global memory.
+#[derive(Debug)]
+pub struct DeviceHashTable {
+    slots: DeviceBuffer<u64>,
+    scheme: HashScheme,
+    mask: u64,
+}
+
+impl DeviceHashTable {
+    /// Number of 8-byte slots.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Table footprint in bytes — the x-axis of Figure 13.
+    pub fn size_bytes(&self) -> usize {
+        self.slots.size_bytes()
+    }
+
+    /// The underlying slot buffer (diagnostics, tests).
+    pub fn slots(&self) -> &DeviceBuffer<u64> {
+        &self.slots
+    }
+
+    #[inline]
+    fn home_slot(&self, key: i32) -> usize {
+        match self.scheme {
+            HashScheme::Mult => {
+                ((key as u32).wrapping_mul(2654435761) as u64 & self.mask) as usize
+            }
+            HashScheme::Perfect { min } => (key - min) as usize,
+        }
+    }
+
+    /// Builds a table over `keys`/`vals` with a GPU kernel.
+    ///
+    /// `num_slots` must be a power of two for [`HashScheme::Mult`] and at
+    /// least the key range for [`HashScheme::Perfect`]. The build phase
+    /// inserts with one CAS per claimed slot (scattered atomics), mirroring
+    /// the parallel no-partitioning build of Section 4.3.
+    pub fn build(
+        gpu: &mut Gpu,
+        keys: &DeviceBuffer<i32>,
+        vals: &DeviceBuffer<i32>,
+        num_slots: usize,
+        scheme: HashScheme,
+    ) -> (Self, KernelReport) {
+        assert_eq!(keys.len(), vals.len());
+        if scheme == HashScheme::Mult {
+            assert!(num_slots.is_power_of_two(), "Mult scheme needs 2^k slots");
+            assert!(num_slots >= keys.len(), "table must fit the build side");
+        }
+        let slots = gpu.alloc_zeroed::<u64>(num_slots);
+        let mut ht = DeviceHashTable {
+            slots,
+            scheme,
+            mask: num_slots as u64 - 1,
+        };
+        let n = keys.len();
+        let cfg = LaunchConfig::default_for_items(n);
+        let report = gpu.launch("hash_build", cfg, |ctx| {
+            let (start, len) = ctx.tile_bounds(n);
+            // Tile of build keys/values is loaded coalesced...
+            ctx.global_read_coalesced(len * 8);
+            for i in start..start + len {
+                let key = keys.as_slice()[i];
+                // `key + 1` tags occupied slots; negative keys would alias
+                // the empty sentinel. All paper workloads use keys >= 0.
+                assert!(key >= 0, "hash table keys must be non-negative");
+                let val = vals.as_slice()[i];
+                let mut slot = ht.home_slot(key);
+                // ...then each insertion CASes slots until one is claimed.
+                loop {
+                    ctx.atomic_scattered(ht.slots.addr_of(slot));
+                    ctx.compute(2);
+                    if ht.slots.as_slice()[slot] == EMPTY {
+                        ht.slots.as_mut_slice()[slot] = pack(key, val);
+                        break;
+                    }
+                    slot = (slot + 1) % ht.num_slots();
+                }
+            }
+        });
+        (ht, report)
+    }
+
+    /// Device-side probe: returns the payload for `key`, accounting one
+    /// gather per inspected slot.
+    #[inline]
+    pub fn probe(&self, ctx: &mut BlockCtx<'_>, key: i32) -> Option<i32> {
+        let mut slot = self.home_slot(key);
+        loop {
+            ctx.gather(self.slots.addr_of(slot), 8);
+            ctx.compute(2);
+            let s = self.slots.as_slice()[slot];
+            match slot_key(s) {
+                None => return None,
+                Some(k) if k == key => return Some(slot_val(s)),
+                _ => slot = (slot + 1) % self.num_slots(),
+            }
+        }
+    }
+
+    /// Frees the table's device memory.
+    pub fn free(self, gpu: &mut Gpu) {
+        gpu.free(self.slots);
+    }
+}
+
+/// Chooses the paper's microbenchmark table geometry: a power-of-two slot
+/// count giving a ~50% fill rate for `build_rows` keys.
+pub fn slots_for_fill_rate(build_rows: usize, fill: f64) -> usize {
+    assert!(fill > 0.0 && fill <= 1.0);
+    ((build_rows as f64 / fill) as usize).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crystal_hardware::nvidia_v100;
+
+    fn gpu() -> Gpu {
+        Gpu::new(nvidia_v100())
+    }
+
+    #[test]
+    fn pack_roundtrips_negative_payloads() {
+        let s = pack(5, -7);
+        assert_eq!(slot_key(s), Some(5));
+        assert_eq!(slot_val(s), -7);
+        assert_eq!(slot_key(EMPTY), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_keys_rejected() {
+        let mut g = gpu();
+        let dk = g.alloc_from(&[-1]);
+        let dv = g.alloc_from(&[0]);
+        DeviceHashTable::build(&mut g, &dk, &dv, 2, HashScheme::Mult);
+    }
+
+    #[test]
+    fn build_and_probe_all_keys() {
+        let mut g = gpu();
+        let keys: Vec<i32> = (0..1000).map(|i| i * 7 + 3).collect();
+        let vals: Vec<i32> = (0..1000).map(|i| i * 2).collect();
+        let dk = g.alloc_from(&keys);
+        let dv = g.alloc_from(&vals);
+        let (ht, _) = DeviceHashTable::build(&mut g, &dk, &dv, 2048, HashScheme::Mult);
+        let mut found = vec![None; keys.len()];
+        g.launch("probe", LaunchConfig::default_for_items(keys.len()), |ctx| {
+            let (start, len) = ctx.tile_bounds(keys.len());
+            for i in start..start + len {
+                found[i] = ht.probe(ctx, keys[i]);
+            }
+        });
+        for (i, f) in found.iter().enumerate() {
+            assert_eq!(*f, Some(vals[i]), "key {}", keys[i]);
+        }
+    }
+
+    #[test]
+    fn probe_misses_return_none() {
+        let mut g = gpu();
+        let dk = g.alloc_from(&[2, 4, 6]);
+        let dv = g.alloc_from(&[20, 40, 60]);
+        let (ht, _) = DeviceHashTable::build(&mut g, &dk, &dv, 8, HashScheme::Mult);
+        let mut results = Vec::new();
+        g.launch("probe", LaunchConfig::default_for_items(3), |ctx| {
+            for k in [1, 3, 5] {
+                results.push(ht.probe(ctx, k));
+            }
+        });
+        assert_eq!(results, vec![None, None, None]);
+    }
+
+    #[test]
+    fn perfect_hash_is_single_access() {
+        let mut g = gpu();
+        let keys: Vec<i32> = (100..200).collect();
+        let vals: Vec<i32> = (0..100).collect();
+        let dk = g.alloc_from(&keys);
+        let dv = g.alloc_from(&vals);
+        let (ht, _) =
+            DeviceHashTable::build(&mut g, &dk, &dv, 100, HashScheme::Perfect { min: 100 });
+        let mut probes_stats = 0;
+        let r = g.launch("probe", LaunchConfig::default_for_items(100), |ctx| {
+            let (start, len) = ctx.tile_bounds(100);
+            for i in start..start + len {
+                assert_eq!(ht.probe(ctx, keys[i]), Some(vals[i]));
+                probes_stats += 1;
+            }
+        });
+        // Exactly one gather per probe: perfect hashing never chains.
+        assert_eq!(r.stats.random_requests, 100);
+    }
+
+    #[test]
+    fn fill_rate_geometry() {
+        // 256M probe-side microbenchmark: 1M build rows at 50% fill =>
+        // 2M slots (16MB).
+        assert_eq!(slots_for_fill_rate(1 << 20, 0.5), 1 << 21);
+        // Non powers round up.
+        assert_eq!(slots_for_fill_rate(1000, 0.5), 2048);
+    }
+
+    #[test]
+    fn build_accounts_scattered_atomics() {
+        let mut g = gpu();
+        let keys: Vec<i32> = (0..512).collect();
+        let vals = keys.clone();
+        let dk = g.alloc_from(&keys);
+        let dv = g.alloc_from(&vals);
+        let (_ht, report) = DeviceHashTable::build(&mut g, &dk, &dv, 1024, HashScheme::Mult);
+        assert!(report.stats.scattered_atomics >= 512);
+    }
+}

@@ -1,0 +1,282 @@
+//! Partitioned (radix) hash join on the GPU — the Section 4.3 alternative.
+//!
+//! "Efficient radix-based hash join algorithms (radix join) have been
+//! proposed ... for the GPUs [Rui & Tu; Sioulas et al.]. ... That
+//! discussion shows that a careful radix partition implementation on both
+//! GPU and CPU are memory bandwidth bound, and hence the performance
+//! difference is roughly equal to the bandwidth ratio."
+//!
+//! Both relations are radix-partitioned with the Figure 14 machinery
+//! (unstable passes — join output order is free), then a join kernel
+//! assigns one partition pair per thread block: the build partition is
+//! staged into a shared-memory hash table and the probe partition streams
+//! against it, so probes never touch global memory randomly. The price,
+//! per the paper, is that the whole input must be materialized first —
+//! radix joins cannot pipeline into multi-join plans.
+
+use crystal_gpu_sim::exec::LaunchConfig;
+use crystal_gpu_sim::mem::DeviceBuffer;
+use crystal_gpu_sim::stats::KernelReport;
+use crystal_gpu_sim::Gpu;
+
+use super::join::JoinSum;
+use super::radix::{radix_partition_pass, RadixError, RadixOrder, GPU_STABLE_MAX_BITS};
+
+/// Total radix width for a target build-partition byte size (shared memory
+/// is the budget on the GPU: partitions must fit the scratchpad). Widths
+/// beyond one pass's budget are realized with multiple stable passes
+/// (multi-level partitioning, as in Sioulas et al.).
+pub fn bits_for_shared_mem(build_rows: usize, shared_bytes: usize) -> u32 {
+    let mut bits = 1u32;
+    while bits < 20 && (build_rows >> bits) * 16 > shared_bytes {
+        bits += 1;
+    }
+    bits
+}
+
+/// Splits a total radix width into stable-pass-sized chunks (LSB order, so
+/// successive stable passes group by the combined low bits).
+pub fn pass_plan(total_bits: u32) -> Vec<u32> {
+    let mut plan = Vec::new();
+    let mut remaining = total_bits;
+    while remaining > 0 {
+        let b = remaining.min(GPU_STABLE_MAX_BITS);
+        plan.push(b);
+        remaining -= b;
+    }
+    plan
+}
+
+fn bounds(keys: &[u32], bits: u32) -> Vec<usize> {
+    let buckets = 1usize << bits;
+    let mut counts = vec![0usize; buckets + 1];
+    for &k in keys {
+        counts[(k & ((1 << bits) - 1)) as usize + 1] += 1;
+    }
+    for d in 0..buckets {
+        counts[d + 1] += counts[d];
+    }
+    counts
+}
+
+/// Q4 via radix join: returns the checksum plus all kernel reports (the
+/// build side's partition passes, the probe side's partition passes, then
+/// the partition-join kernel).
+///
+/// `bits` is the *total* partition fan-out; more than one stable pass is
+/// used when it exceeds a single pass's budget (multi-level partitioning).
+pub fn radix_join_sum(
+    gpu: &mut Gpu,
+    build_keys: &DeviceBuffer<i32>,
+    build_vals: &DeviceBuffer<i32>,
+    probe_keys: &DeviceBuffer<i32>,
+    probe_vals: &DeviceBuffer<i32>,
+    bits: u32,
+) -> Result<(JoinSum, Vec<KernelReport>), RadixError> {
+    let mut reports = Vec::new();
+    let plan = pass_plan(bits);
+
+    // Phase 1: partition both relations (reinterpret i32 keys as u32; the
+    // paper's workloads use non-negative keys so digit order is unchanged).
+    let as_u32 = |b: &DeviceBuffer<i32>| -> Vec<u32> {
+        b.as_slice().iter().map(|&v| v as u32).collect()
+    };
+    let partition = |gpu: &mut Gpu,
+                     keys: Vec<u32>,
+                     vals: Vec<u32>,
+                     reports: &mut Vec<KernelReport>|
+     -> Result<(DeviceBuffer<u32>, DeviceBuffer<u32>), RadixError> {
+        let mut k = gpu.alloc_from(&keys);
+        let mut v = gpu.alloc_from(&vals);
+        let mut shift = 0u32;
+        for &b in &plan {
+            let (nk, nv, rs) = radix_partition_pass(gpu, &k, &v, b, shift, RadixOrder::Stable)?;
+            reports.extend(rs);
+            gpu.free(k);
+            gpu.free(v);
+            k = nk;
+            v = nv;
+            shift += b;
+        }
+        Ok((k, v))
+    };
+    let (bk, bv) = partition(gpu, as_u32(build_keys), as_u32(build_vals), &mut reports)?;
+    let build_pass_kernels = reports.len();
+    let (pk, pv) = partition(gpu, as_u32(probe_keys), as_u32(probe_vals), &mut reports)?;
+    debug_assert_eq!(reports.len(), 2 * build_pass_kernels);
+
+    let b_bounds = bounds(bk.as_slice(), bits);
+    let p_bounds = bounds(pk.as_slice(), bits);
+    let buckets = 1usize << bits;
+
+    // Phase 2: one block per partition pair; the build side lives in a
+    // shared-memory table.
+    let max_build = (0..buckets)
+        .map(|d| b_bounds[d + 1] - b_bounds[d])
+        .max()
+        .unwrap_or(0);
+    let cfg = LaunchConfig {
+        grid_dim: buckets,
+        block_dim: 256,
+        items_per_thread: 4,
+        shared_mem_bytes: (max_build * 16).max(1),
+    };
+    let mut checksum = 0i64;
+    let mut matches = 0usize;
+    let report = gpu.launch("radix_join_partitions", cfg, |ctx| {
+        let d = ctx.block_idx;
+        let b = &bk.as_slice()[b_bounds[d]..b_bounds[d + 1]];
+        let bvals = &bv.as_slice()[b_bounds[d]..b_bounds[d + 1]];
+        let p = &pk.as_slice()[p_bounds[d]..p_bounds[d + 1]];
+        let pvals = &pv.as_slice()[p_bounds[d]..p_bounds[d + 1]];
+        if b.is_empty() || p.is_empty() {
+            return;
+        }
+        // Build: coalesced read of the partition, staged into shared memory.
+        ctx.global_read_coalesced(b.len() * 8);
+        let slots = (b.len() * 2).next_power_of_two();
+        ctx.shared(slots * 8);
+        ctx.sync();
+        let mask = slots - 1;
+        // Hash on the bits *above* the partition radix: all keys of this
+        // partition share their low `bits`, so hashing them would collapse
+        // every key into one probe chain.
+        let hash = |k: u32| ((k >> bits).wrapping_mul(2654435761)) as usize;
+        let mut table = vec![(u32::MAX, 0u32); slots];
+        for (&k, &v) in b.iter().zip(bvals) {
+            let mut s = hash(k) & mask;
+            while table[s].0 != u32::MAX {
+                s = (s + 1) & mask;
+            }
+            table[s] = (k, v);
+            ctx.compute(2);
+        }
+        // Probe: coalesced stream of the probe partition; every lookup is
+        // a shared-memory access.
+        ctx.global_read_coalesced(p.len() * 8);
+        let mut block_sum = 0i64;
+        for (&k, &v) in p.iter().zip(pvals) {
+            let mut s = hash(k) & mask;
+            loop {
+                ctx.shared(8);
+                ctx.compute(2);
+                let (tk, tv) = table[s];
+                if tk == u32::MAX {
+                    break;
+                }
+                if tk == k {
+                    block_sum = block_sum.wrapping_add(tv as i32 as i64 + v as i32 as i64);
+                    matches += 1;
+                    break;
+                }
+                s = (s + 1) & mask;
+            }
+        }
+        ctx.shared(ctx.block_dim * 8);
+        ctx.sync();
+        ctx.atomic_same_addr(1);
+        checksum = checksum.wrapping_add(block_sum);
+    });
+    reports.push(report);
+
+    gpu.free(bk);
+    gpu.free(bv);
+    gpu.free(pk);
+    gpu.free(pv);
+    Ok((JoinSum { checksum, matches }, reports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::{slots_for_fill_rate, DeviceHashTable, HashScheme};
+    use crate::kernels::hash_join_sum;
+    use crystal_hardware::nvidia_v100;
+
+    fn workload(build_n: usize, probe_n: usize) -> (Vec<i32>, Vec<i32>, Vec<i32>, Vec<i32>) {
+        let build_keys: Vec<i32> = (0..build_n as i32).collect();
+        let build_vals: Vec<i32> = build_keys.iter().map(|k| k * 3).collect();
+        let mut x = 9u64;
+        let probe_keys: Vec<i32> = (0..probe_n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 33) as usize % build_n) as i32
+            })
+            .collect();
+        let probe_vals: Vec<i32> = (0..probe_n as i32).collect();
+        (build_keys, build_vals, probe_keys, probe_vals)
+    }
+
+    #[test]
+    fn matches_no_partitioning_join() {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let (bk, bv, pk, pv) = workload(8_192, 40_000);
+        let dbk = gpu.alloc_from(&bk);
+        let dbv = gpu.alloc_from(&bv);
+        let dpk = gpu.alloc_from(&pk);
+        let dpv = gpu.alloc_from(&pv);
+        let (ht, _) = DeviceHashTable::build(
+            &mut gpu,
+            &dbk,
+            &dbv,
+            slots_for_fill_rate(bk.len(), 0.5),
+            HashScheme::Mult,
+        );
+        let (expected, _) = hash_join_sum(&mut gpu, &dpk, &dpv, &ht);
+        let (got, reports) = radix_join_sum(&mut gpu, &dbk, &dbv, &dpk, &dpv, 6).unwrap();
+        assert_eq!(got.checksum, expected.checksum);
+        assert_eq!(got.matches, expected.matches);
+        // 2 partition passes (3 kernels each) + the join kernel.
+        assert_eq!(reports.len(), 7);
+    }
+
+    #[test]
+    fn wide_radix_uses_multiple_stable_passes() {
+        assert_eq!(pass_plan(6), vec![6]);
+        assert_eq!(pass_plan(9), vec![7, 2]);
+        assert_eq!(pass_plan(14), vec![7, 7]);
+        let mut gpu = Gpu::new(nvidia_v100());
+        let (bk, bv, pk, pv) = workload(4_096, 20_000);
+        let dbk = gpu.alloc_from(&bk);
+        let dbv = gpu.alloc_from(&bv);
+        let dpk = gpu.alloc_from(&pk);
+        let dpv = gpu.alloc_from(&pv);
+        let (ht, _) = DeviceHashTable::build(
+            &mut gpu,
+            &dbk,
+            &dbv,
+            slots_for_fill_rate(bk.len(), 0.5),
+            HashScheme::Mult,
+        );
+        let (expected, _) = hash_join_sum(&mut gpu, &dpk, &dpv, &ht);
+        let (got, reports) = radix_join_sum(&mut gpu, &dbk, &dbv, &dpk, &dpv, 9).unwrap();
+        assert_eq!(got.checksum, expected.checksum);
+        // Two passes x 3 kernels x 2 sides + the join kernel.
+        assert_eq!(reports.len(), 13);
+    }
+
+    #[test]
+    fn partition_probes_avoid_global_random_access() {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let (bk, bv, pk, pv) = workload(1 << 14, 1 << 16);
+        let dbk = gpu.alloc_from(&bk);
+        let dbv = gpu.alloc_from(&bv);
+        let dpk = gpu.alloc_from(&pk);
+        let dpv = gpu.alloc_from(&pv);
+        let (_, reports) = radix_join_sum(&mut gpu, &dbk, &dbv, &dpk, &dpv, 6).unwrap();
+        let join_kernel = reports.last().unwrap();
+        assert_eq!(
+            join_kernel.stats.random_requests, 0,
+            "partition-local probes must stay in shared memory"
+        );
+        assert!(join_kernel.stats.shared_bytes > 0);
+    }
+
+    #[test]
+    fn bits_sizing() {
+        // 1M build rows into 48KB shared memory: (1M >> bits) * 16 <= 48K
+        // needs bits >= 9 (realized as stable passes of 7 + 2).
+        assert_eq!(bits_for_shared_mem(1 << 20, 48 * 1024), 9);
+        assert_eq!(bits_for_shared_mem(1 << 10, 48 * 1024), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Tiles: the unit of block-wide processing.
+//!
+//! A [`Tile`] is the staging area a thread block works on — the collective
+//! registers / shared memory holding `block_dim * items_per_thread` items
+//! ("even though a single thread on the GPU at full occupancy can hold only
+//! up to 24 integers in shared memory, a single thread block can hold a
+//! significantly larger group of elements collectively", Section 3.2).
+//!
+//! Tiles are allocated once per kernel (outside the per-block loop) and
+//! reused across blocks, mirroring static shared-memory declarations in the
+//! CUDA original.
+
+/// A fixed-capacity buffer of tile items with a current length.
+#[derive(Debug, Clone)]
+pub struct Tile<T> {
+    data: Vec<T>,
+    len: usize,
+}
+
+impl<T: Copy + Default> Tile<T> {
+    /// A tile able to hold `capacity` items (`block_dim * items_per_thread`).
+    pub fn new(capacity: usize) -> Self {
+        Tile {
+            data: vec![T::default(); capacity],
+            len: 0,
+        }
+    }
+
+    /// Maximum items the tile can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Items currently valid.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets the number of valid items (items beyond the previous length keep
+    /// whatever values the backing storage holds, as in real shared memory).
+    #[inline]
+    pub fn set_len(&mut self, len: usize) {
+        debug_assert!(len <= self.capacity());
+        self.len = len;
+    }
+
+    /// Valid items.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data[..self.len]
+    }
+
+    /// Mutable access to the valid prefix.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data[..self.len]
+    }
+
+    /// Mutable access to the full backing storage (for primitives that write
+    /// before setting the length).
+    #[inline]
+    pub fn storage_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Size in bytes of the valid items.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.len * std::mem::size_of::<T>()
+    }
+
+    /// Empties the tile.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Appends one item (device-side code uses this when compacting).
+    #[inline]
+    pub fn push(&mut self, v: T) {
+        debug_assert!(self.len < self.capacity());
+        self.data[self.len] = v;
+        self.len += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_tile_is_empty_with_capacity() {
+        let t: Tile<i32> = Tile::new(512);
+        assert_eq!(t.capacity(), 512);
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn push_and_slice() {
+        let mut t: Tile<i32> = Tile::new(4);
+        t.push(7);
+        t.push(9);
+        assert_eq!(t.as_slice(), &[7, 9]);
+        assert_eq!(t.bytes(), 8);
+    }
+
+    #[test]
+    fn set_len_exposes_storage() {
+        let mut t: Tile<i32> = Tile::new(4);
+        t.storage_mut()[0] = 1;
+        t.storage_mut()[1] = 2;
+        t.set_len(2);
+        assert_eq!(t.as_slice(), &[1, 2]);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn push_past_capacity_panics_in_debug() {
+        let mut t: Tile<i32> = Tile::new(1);
+        t.push(1);
+        t.push(2);
+    }
+}

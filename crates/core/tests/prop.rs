@@ -1,0 +1,153 @@
+//! Property tests for the Crystal primitives and kernels.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use crystal_core::kernels;
+use crystal_core::kernels::radix_join::pass_plan;
+use crystal_core::primitives::*;
+use crystal_core::tile::Tile;
+use crystal_gpu_sim::exec::{Gpu, LaunchConfig};
+use crystal_hardware::nvidia_v100;
+use crystal_storage::bitpack::PackedColumn;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The load -> pred -> scan -> shuffle -> store pipeline is an exact
+    /// filter for arbitrary data, predicates and launch shapes.
+    #[test]
+    fn select_pipeline_is_exact_filter(
+        data in vec(any::<i32>(), 0..3000),
+        modulus in 2i32..17,
+        bs_pow in 5u32..9,
+        ipt in 1usize..5,
+    ) {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let col = gpu.alloc_from(&data);
+        let m = modulus;
+        let cfg = LaunchConfig::for_items(data.len(), 1usize << bs_pow, ipt);
+        let (out, _) = kernels::select_where(&mut gpu, &col, cfg, move |y| y.rem_euclid(m) == 0);
+        let expected: Vec<i32> = data.iter().copied().filter(|y| y.rem_euclid(m) == 0).collect();
+        prop_assert_eq!(out.as_slice(), &expected[..]);
+    }
+
+    /// BlockScan's exclusive prefix sum + total is consistent with the
+    /// bitmap for any bitmap contents.
+    #[test]
+    fn scan_matches_bitmap(bits in vec(any::<bool>(), 1..2048)) {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let mut result = None;
+        gpu.launch("t", LaunchConfig::for_items(bits.len(), 128, 4), |ctx| {
+            if ctx.block_idx != 0 {
+                return;
+            }
+            let mut bm: Tile<bool> = Tile::new(bits.len());
+            for &b in &bits {
+                bm.push(b);
+            }
+            let mut idx: Tile<u32> = Tile::new(bits.len());
+            let total = block_scan(ctx, &bm, &mut idx);
+            result = Some((total, idx.as_slice().to_vec()));
+        });
+        let (total, idx) = result.unwrap();
+        prop_assert_eq!(total, bits.iter().filter(|&&b| b).count());
+        let mut acc = 0u32;
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(idx[i], acc);
+            acc += b as u32;
+        }
+    }
+
+    /// BlockShuffle compacts exactly the set entries, in order.
+    #[test]
+    fn shuffle_is_stable_compaction(rows in vec((any::<i32>(), any::<bool>()), 1..1024)) {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let mut out_vals = None;
+        gpu.launch("t", LaunchConfig::for_items(rows.len(), 128, 4), |ctx| {
+            if ctx.block_idx != 0 {
+                return;
+            }
+            let mut tile: Tile<i32> = Tile::new(rows.len());
+            let mut bm: Tile<bool> = Tile::new(rows.len());
+            for &(v, b) in &rows {
+                tile.push(v);
+                bm.push(b);
+            }
+            let mut idx: Tile<u32> = Tile::new(rows.len());
+            block_scan(ctx, &bm, &mut idx);
+            let mut out: Tile<i32> = Tile::new(rows.len());
+            block_shuffle(ctx, &tile, &bm, &idx, &mut out);
+            out_vals = Some(out.as_slice().to_vec());
+        });
+        let expected: Vec<i32> = rows.iter().filter(|(_, b)| *b).map(|(v, _)| *v).collect();
+        prop_assert_eq!(out_vals.unwrap(), expected);
+    }
+
+    /// Radix pass plans cover the requested bits with stable-sized chunks.
+    #[test]
+    fn pass_plans_cover_bits(total in 1u32..33) {
+        let plan = pass_plan(total);
+        prop_assert_eq!(plan.iter().sum::<u32>(), total);
+        prop_assert!(plan.iter().all(|&b| (1..=7).contains(&b)));
+    }
+
+    /// Packed columns round-trip through the device kernel for any width.
+    #[test]
+    fn packed_select_roundtrip(seed in any::<u64>(), bits in 2u32..31, n in 1usize..3000) {
+        let domain = 1i64 << (bits - 1);
+        let mut x = seed | 1;
+        let values: Vec<i32> = (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 33) as i64 % domain) as i32
+            })
+            .collect();
+        let packed = PackedColumn::pack(&values, bits).unwrap();
+        let mut gpu = Gpu::new(nvidia_v100());
+        let dev = kernels::DevicePackedColumn::upload(&mut gpu, &packed);
+        let v = (domain / 2) as i32;
+        let (out, _) = kernels::select_gt_packed(&mut gpu, &dev, v);
+        let expected: Vec<i32> = values.iter().copied().filter(|&y| y > v).collect();
+        prop_assert_eq!(out.as_slice(), &expected[..]);
+    }
+
+    /// GPU radix join equals the no-partitioning join for arbitrary
+    /// build/probe shapes and fan-outs.
+    #[test]
+    fn radix_join_equals_hash_join(
+        build_pow in 6u32..11,
+        probe_n in 100usize..3000,
+        bits in 2u32..10,
+        seed in any::<u64>(),
+    ) {
+        let build_n = 1usize << build_pow;
+        let build_keys: Vec<i32> = (0..build_n as i32).collect();
+        let build_vals: Vec<i32> = build_keys.iter().map(|k| k ^ 0x3C).collect();
+        let mut x = seed | 1;
+        let probe_keys: Vec<i32> = (0..probe_n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 33) as usize % (build_n * 2)) as i32 // ~50% misses
+            })
+            .collect();
+        let probe_vals: Vec<i32> = (0..probe_n as i32).collect();
+
+        let mut gpu = Gpu::new(nvidia_v100());
+        let dbk = gpu.alloc_from(&build_keys);
+        let dbv = gpu.alloc_from(&build_vals);
+        let dpk = gpu.alloc_from(&probe_keys);
+        let dpv = gpu.alloc_from(&probe_vals);
+        let (ht, _) = crystal_core::hash::DeviceHashTable::build(
+            &mut gpu,
+            &dbk,
+            &dbv,
+            (build_n * 2).next_power_of_two(),
+            crystal_core::hash::HashScheme::Mult,
+        );
+        let (expected, _) = kernels::hash_join_sum(&mut gpu, &dpk, &dpv, &ht);
+        let (got, _) = kernels::gpu_radix_join_sum(&mut gpu, &dbk, &dbv, &dpk, &dpv, bits).unwrap();
+        prop_assert_eq!(got.checksum, expected.checksum);
+        prop_assert_eq!(got.matches, expected.matches);
+    }
+}

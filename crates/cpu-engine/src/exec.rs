@@ -1,0 +1,123 @@
+//! Parallel-execution helpers: range partitioning and scoped thread fan-out.
+
+use std::ops::Range;
+
+/// Vector size for vector-at-a-time processing: "each core processes its
+/// partition by iterating over the entries ... one vector of entries at a
+/// time, where a vector is about 1000 entries (small enough to fit in the
+/// L1 cache)" (Section 3.2).
+pub const VECTOR_SIZE: usize = 1024;
+
+/// Number of worker threads to use by default (one per logical CPU).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `0..n` into at most `threads` near-equal contiguous ranges.
+pub fn partition_ranges(n: usize, threads: usize) -> Vec<Range<usize>> {
+    let threads = threads.max(1).min(n.max(1));
+    let base = n / threads;
+    let rem = n % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let len = base + usize::from(t < rem);
+        if len == 0 {
+            continue;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `f` over each partition of `0..n` on its own scoped thread and
+/// collects the results in partition order.
+pub fn scoped_map<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let ranges = partition_ranges(n, threads);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| s.spawn(|_| f(r)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap()
+}
+
+/// A raw pointer that may cross thread boundaries. Used by operators whose
+/// threads write to *provably disjoint* regions of one output buffer (the
+/// atomic-cursor selection, radix scatter). Each use site documents why the
+/// regions are disjoint.
+#[derive(Clone, Copy)]
+pub struct SendPtr<T>(pub *mut T);
+
+// SAFETY: the pointer itself is plain data; dereferencing is the user's
+// responsibility and every use in this crate writes disjoint index ranges.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Writes `v` at `idx`.
+    ///
+    /// # Safety
+    /// `idx` must be in bounds of the allocation and no other thread may
+    /// concurrently access the same index.
+    #[inline]
+    pub unsafe fn write(&self, idx: usize, v: T) {
+        unsafe { self.0.add(idx).write(v) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_exactly_once() {
+        for (n, t) in [(10, 3), (0, 4), (7, 16), (1000, 8)] {
+            let rs = partition_ranges(n, t);
+            let total: usize = rs.iter().map(|r| r.len()).sum();
+            assert_eq!(total, n);
+            for w in rs.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn scoped_map_collects_in_order() {
+        let sums = scoped_map(100, 4, |r| r.sum::<usize>());
+        let total: usize = sums.iter().sum();
+        assert_eq!(total, (0..100).sum());
+        assert_eq!(sums.len(), 4);
+    }
+
+    #[test]
+    fn scoped_map_single_thread() {
+        let v = scoped_map(5, 1, |r| r.len());
+        assert_eq!(v, vec![5]);
+    }
+
+    #[test]
+    fn send_ptr_disjoint_parallel_writes() {
+        let mut out = vec![0u32; 64];
+        let p = SendPtr(out.as_mut_ptr());
+        scoped_map(64, 4, |r| {
+            for i in r {
+                // SAFETY: ranges from partition_ranges are disjoint.
+                unsafe { p.write(i, i as u32 * 2) };
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 * 2));
+    }
+}

@@ -1,0 +1,92 @@
+//! CPU operators over bit-packed columns (the Section 5.5 compression
+//! extension's CPU half).
+//!
+//! On a CPU the unpack shifts compete with the scan loop for the same
+//! scalar pipes, so compression buys much less than on a GPU — the
+//! asymmetry the paper predicts from the devices' compute-to-bandwidth
+//! ratios. `reproduce ablation-compression` measures both sides.
+
+use crystal_storage::bitpack::PackedColumn;
+
+use crate::exec::{scoped_map, SendPtr, VECTOR_SIZE};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `SELECT v FROM r WHERE v > x` over a packed column, producing plain
+/// 4-byte output (predicated inner loop, vector-at-a-time).
+pub fn select_gt_packed(col: &PackedColumn, v: i32, threads: usize) -> Vec<i32> {
+    let n = col.len();
+    let mut out: Vec<i32> = Vec::with_capacity(n);
+    let cursor = AtomicUsize::new(0);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    scoped_map(n, threads, |range| {
+        let mut buf = [0i32; VECTOR_SIZE];
+        let mut start = range.start;
+        while start < range.end {
+            let end = (start + VECTOR_SIZE).min(range.end);
+            let mut c = 0usize;
+            for i in start..end {
+                let y = col.get(i);
+                buf[c] = y;
+                c += usize::from(y > v);
+            }
+            if c > 0 {
+                let off = cursor.fetch_add(c, Ordering::Relaxed);
+                for (j, &y) in buf[..c].iter().enumerate() {
+                    // SAFETY: the range [off, off+c) was exclusively
+                    // reserved by fetch_add and total matches never exceed n.
+                    unsafe { out_ptr.write(off + j, y) };
+                }
+            }
+            start = end;
+        }
+    });
+    let len = cursor.load(Ordering::Relaxed);
+    // SAFETY: exactly `len` slots were initialized via reserved ranges.
+    unsafe { out.set_len(len) };
+    out
+}
+
+/// `SELECT SUM(v) FROM r` over a packed column.
+pub fn sum_packed(col: &PackedColumn, threads: usize) -> i64 {
+    let partials = scoped_map(col.len(), threads, |range| {
+        range.map(|i| col.get(i) as i64).sum::<i64>()
+    });
+    partials.into_iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column(n: usize, bits: u32) -> (Vec<i32>, PackedColumn) {
+        let domain = 1i32 << (bits - 1);
+        let values: Vec<i32> = (0..n)
+            .map(|i| (i as i32).wrapping_mul(2654435761u32 as i32).rem_euclid(domain))
+            .collect();
+        (values.clone(), PackedColumn::pack(&values, bits).unwrap())
+    }
+
+    #[test]
+    fn packed_select_matches_plain() {
+        let (values, packed) = column(30_000, 11);
+        let v = 512;
+        let mut got = select_gt_packed(&packed, v, 4);
+        got.sort_unstable();
+        let mut expected: Vec<i32> = values.into_iter().filter(|&y| y > v).collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn packed_sum_matches_plain() {
+        let (values, packed) = column(10_000, 7);
+        assert_eq!(sum_packed(&packed, 3), values.iter().map(|&v| v as i64).sum::<i64>());
+    }
+
+    #[test]
+    fn empty_packed_column() {
+        let packed = PackedColumn::pack(&[], 8).unwrap();
+        assert!(select_gt_packed(&packed, 0, 2).is_empty());
+        assert_eq!(sum_packed(&packed, 2), 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Partitioned (radix) hash join on the CPU — the alternative join the
+//! paper discusses at the end of Section 4.3.
+//!
+//! "Partitioned hash joins use a partitioning routine like radix
+//! partitioning to partition the input relations into cache-sized chunks
+//! and in the second step run the join on the corresponding partitions."
+//!
+//! Both relations are radix-partitioned on the join key's low bits; each
+//! matching partition pair then joins with a private, cache-resident hash
+//! table. The paper's caveat is also reproduced in the benches: "radix join
+//! requires the entire input to be available before the join starts and as
+//! a result intermediate join results cannot be pipelined" — it wins on a
+//! single large join, but cannot fuse into multi-join queries.
+
+use crate::exec::scoped_map;
+use crate::radix::radix_partition_stable;
+
+/// Picks the radix width that makes build partitions fit a target cache
+/// budget (with 8-byte pairs and 2x hash-table headroom).
+pub fn bits_for_cache(build_rows: usize, cache_bytes: usize) -> u32 {
+    let mut bits = 0u32;
+    // partition_rows * 16 bytes (8B pair at 50% table fill) <= cache.
+    while bits < 16 && (build_rows >> bits) * 16 > cache_bytes {
+        bits += 1;
+    }
+    bits.max(1)
+}
+
+/// Computes per-partition boundaries of a radix-partitioned array.
+fn partition_bounds(keys: &[u32], bits: u32) -> Vec<usize> {
+    let buckets = 1usize << bits;
+    let mut counts = vec![0usize; buckets + 1];
+    for &k in keys {
+        counts[(k & ((1 << bits) - 1)) as usize + 1] += 1;
+    }
+    for d in 0..buckets {
+        counts[d + 1] += counts[d];
+    }
+    counts
+}
+
+/// `SUM(build_val + probe_val)` over key matches, via radix join.
+///
+/// `bits` controls the partition fan-out; [`bits_for_cache`] picks a good
+/// value. Build keys must be unique and non-negative (as in the paper's
+/// microbenchmark); probe keys may repeat.
+pub fn radix_join_sum(
+    build_keys: &[i32],
+    build_vals: &[i32],
+    probe_keys: &[i32],
+    probe_vals: &[i32],
+    bits: u32,
+    threads: usize,
+) -> i64 {
+    assert_eq!(build_keys.len(), build_vals.len());
+    assert_eq!(probe_keys.len(), probe_vals.len());
+    if build_keys.is_empty() || probe_keys.is_empty() {
+        return 0;
+    }
+
+    // Phase 1: partition both relations by the low `bits` of the key.
+    let bk: Vec<u32> = build_keys.iter().map(|&k| k as u32).collect();
+    let bv: Vec<u32> = build_vals.iter().map(|&v| v as u32).collect();
+    let (bk, bv) = radix_partition_stable(&bk, &bv, bits, 0, threads);
+    let pk: Vec<u32> = probe_keys.iter().map(|&k| k as u32).collect();
+    let pv: Vec<u32> = probe_vals.iter().map(|&v| v as u32).collect();
+    let (pk, pv) = radix_partition_stable(&pk, &pv, bits, 0, threads);
+
+    let b_bounds = partition_bounds(&bk, bits);
+    let p_bounds = partition_bounds(&pk, bits);
+    let buckets = 1usize << bits;
+
+    // Phase 2: join matching partitions with private tables, one partition
+    // per task.
+    let partials = scoped_map(buckets, threads, |range| {
+        let mut sum = 0i64;
+        // Reusable open-addressing table for this worker.
+        let mut table: Vec<(u32, u32)> = Vec::new();
+        for d in range {
+            let b = &bk[b_bounds[d]..b_bounds[d + 1]];
+            let bvals = &bv[b_bounds[d]..b_bounds[d + 1]];
+            let p = &pk[p_bounds[d]..p_bounds[d + 1]];
+            let pvals = &pv[p_bounds[d]..p_bounds[d + 1]];
+            if b.is_empty() || p.is_empty() {
+                continue;
+            }
+            let slots = (b.len() * 2).next_power_of_two();
+            table.clear();
+            table.resize(slots, (u32::MAX, 0));
+            let mask = slots - 1;
+            // Hash on the bits above the partition radix: partition-local
+            // keys share their low `bits`, which would otherwise collapse
+            // every key onto one probe chain.
+            let hash = |k: u32| ((k >> bits).wrapping_mul(2654435761)) as usize;
+            for (&k, &v) in b.iter().zip(bvals) {
+                let mut s = hash(k) & mask;
+                while table[s].0 != u32::MAX {
+                    s = (s + 1) & mask;
+                }
+                table[s] = (k, v);
+            }
+            for (&k, &v) in p.iter().zip(pvals) {
+                let mut s = hash(k) & mask;
+                loop {
+                    let (tk, tv) = table[s];
+                    if tk == u32::MAX {
+                        break;
+                    }
+                    if tk == k {
+                        sum = sum.wrapping_add(tv as i32 as i64 + v as i32 as i64);
+                        break;
+                    }
+                    s = (s + 1) & mask;
+                }
+            }
+        }
+        sum
+    });
+    partials.into_iter().fold(0i64, i64::wrapping_add)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::{probe_scalar, CpuHashTable};
+
+    fn workload(build_n: usize, probe_n: usize) -> (Vec<i32>, Vec<i32>, Vec<i32>, Vec<i32>) {
+        let build_keys: Vec<i32> = (0..build_n as i32).collect();
+        let build_vals: Vec<i32> = build_keys.iter().map(|k| k * 7).collect();
+        let mut x = 1u64;
+        let probe_keys: Vec<i32> = (0..probe_n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 33) as usize % build_n) as i32
+            })
+            .collect();
+        let probe_vals: Vec<i32> = (0..probe_n as i32).collect();
+        (build_keys, build_vals, probe_keys, probe_vals)
+    }
+
+    #[test]
+    fn matches_no_partitioning_join() {
+        let (bk, bv, pk, pv) = workload(10_000, 50_000);
+        let ht = CpuHashTable::build_parallel(&bk, &bv, 32_768, 4);
+        let expected = probe_scalar(&ht, &pk, &pv, 4);
+        for bits in [1u32, 4, 8] {
+            assert_eq!(
+                radix_join_sum(&bk, &bv, &pk, &pv, bits, 4),
+                expected,
+                "bits={bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_probe_misses() {
+        let bk = vec![1, 3, 5];
+        let bv = vec![10, 30, 50];
+        let pk = vec![1, 2, 3, 4, 5, 6];
+        let pv = vec![1, 1, 1, 1, 1, 1];
+        // Matches: (1,10), (3,30), (5,50) -> sum = 3 + 90 = 93.
+        assert_eq!(radix_join_sum(&bk, &bv, &pk, &pv, 2, 2), 93);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(radix_join_sum(&[], &[], &[1], &[1], 4, 2), 0);
+        assert_eq!(radix_join_sum(&[1], &[1], &[], &[], 4, 2), 0);
+    }
+
+    #[test]
+    fn bits_for_cache_targets_partition_size() {
+        // 1M rows into a 256KB budget: partitions of <= 16K rows -> 6 bits.
+        let bits = bits_for_cache(1 << 20, 256 * 1024);
+        assert_eq!(bits, 6);
+        assert!(bits_for_cache(100, 1 << 20) == 1);
+    }
+
+    #[test]
+    fn single_threaded_matches_parallel() {
+        let (bk, bv, pk, pv) = workload(5_000, 20_000);
+        assert_eq!(
+            radix_join_sum(&bk, &bv, &pk, &pv, 5, 1),
+            radix_join_sum(&bk, &bv, &pk, &pv, 5, 4)
+        );
+    }
+}

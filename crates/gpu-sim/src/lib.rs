@@ -1,0 +1,38 @@
+//! # crystal-gpu-sim — a functional + timing simulator of a V100-class GPU
+//!
+//! This crate stands in for the CUDA device the paper runs on. It has two
+//! halves that operate in lockstep:
+//!
+//! 1. **Functional execution** — kernels are Rust closures invoked once per
+//!    *thread block* (the tile-based execution model treats the thread block
+//!    as the basic execution unit, so this is the natural granularity).
+//!    They read and write real [`mem::DeviceBuffer`] data, so every kernel
+//!    produces bit-exact results that the test suite checks against CPU
+//!    reference implementations.
+//! 2. **Timing accounting** — every memory operation a kernel performs is
+//!    declared through its [`exec::BlockCtx`]: coalesced tile loads/stores,
+//!    random gathers/scatters (which pass through a set-associative LRU L2
+//!    cache simulator), shared-memory traffic, contended and scattered
+//!    atomics, barriers and ALU/SFU work. [`timing`] converts the resulting
+//!    [`stats::KernelStats`] into a simulated runtime using the paper's own
+//!    methodology: a bandwidth-saturation model in which the kernel time is
+//!    the *maximum* of its resource components (GPUs hide latency by warp
+//!    oversubscription — Section 5.3 of the paper), modulated by occupancy,
+//!    vector-load efficiency and synchronization pressure (Section 3.3).
+//!
+//! The combination lets the workspace reproduce every GPU-side figure of the
+//! paper — including cache step functions (Figure 13), atomic-contention
+//! collapse (Figure 9, Section 3.3) and PCIe-bound coprocessing (Figure 3) —
+//! on a machine with no GPU, while remaining a real, runnable query engine.
+
+pub mod cache;
+pub mod exec;
+pub mod mem;
+pub mod pcie;
+pub mod stats;
+pub mod timing;
+
+pub use exec::{Gpu, LaunchConfig};
+pub use mem::DeviceBuffer;
+pub use stats::{KernelReport, KernelStats};
+pub use timing::SimTime;

@@ -1,0 +1,243 @@
+//! Device global memory: typed buffers with simulated addresses.
+//!
+//! A [`DeviceBuffer`] owns host memory holding the buffer contents (the
+//! functional half of the simulation) and carries a simulated device address
+//! assigned by a bump allocator (the timing half: the L2 cache simulator and
+//! the coalescing accounting need stable addresses). The allocator enforces
+//! the device's memory capacity, so working sets that would not fit on a real
+//! V100 fail here too.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Alignment of every allocation, matching the 256-byte alignment CUDA's
+/// allocator guarantees (and ensuring a buffer never shares a cache line
+/// with another buffer).
+pub const ALLOC_ALIGN: u64 = 256;
+
+static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Error returned when an allocation exceeds the device's remaining memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfDeviceMemory {
+    pub requested: usize,
+    pub available: usize,
+}
+
+impl std::fmt::Display for OutOfDeviceMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of device memory: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfDeviceMemory {}
+
+/// A typed allocation in simulated device global memory.
+#[derive(Debug)]
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+    addr: u64,
+    id: u64,
+    /// Bytes charged against the device budget at allocation time (stable
+    /// across [`DeviceBuffer::truncate`]).
+    alloc_bytes: usize,
+}
+
+impl<T: Copy + Default> DeviceBuffer<T> {
+    pub(crate) fn new(data: Vec<T>, addr: u64) -> Self {
+        let alloc_bytes = data.len() * std::mem::size_of::<T>();
+        DeviceBuffer {
+            data,
+            addr,
+            id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
+            alloc_bytes,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<T>()
+    }
+
+    /// Simulated device base address.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Simulated device address of element `idx` (used for cache-simulated
+    /// gathers/scatters).
+    #[inline]
+    pub fn addr_of(&self, idx: usize) -> u64 {
+        debug_assert!(idx <= self.data.len());
+        self.addr + (idx * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Unique buffer id (diagnostics).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Read-only view of the contents.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the contents.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Copies the contents back to a host `Vec` (the simulated
+    /// `cudaMemcpy(DeviceToHost)`; PCIe time is accounted by
+    /// [`crate::pcie`] when the caller models transfers).
+    pub fn to_host(&self) -> Vec<T> {
+        self.data.clone()
+    }
+
+    /// Shrinks the buffer to its first `len` elements (used by kernels that
+    /// over-allocate their output, e.g. a selection sized for the worst
+    /// case). The device-memory budget still accounts the original
+    /// allocation until the buffer is freed.
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+}
+
+/// Bump allocator over the simulated device address space.
+#[derive(Debug)]
+pub struct Memory {
+    capacity: usize,
+    used: usize,
+    high_water: usize,
+    next_addr: u64,
+}
+
+impl Memory {
+    pub fn new(capacity: usize) -> Self {
+        Memory {
+            capacity,
+            used: 0,
+            high_water: 0,
+            // Start away from address zero so that `addr == 0` never appears
+            // (helps catch accounting bugs).
+            next_addr: ALLOC_ALIGN,
+        }
+    }
+
+    /// Allocates a buffer holding `data`.
+    pub fn alloc_from<T: Copy + Default>(&mut self, data: Vec<T>) -> Result<DeviceBuffer<T>, OutOfDeviceMemory> {
+        let bytes = data.len() * std::mem::size_of::<T>();
+        if self.used + bytes > self.capacity {
+            return Err(OutOfDeviceMemory {
+                requested: bytes,
+                available: self.capacity - self.used,
+            });
+        }
+        let addr = self.next_addr;
+        let aligned = bytes.next_multiple_of(ALLOC_ALIGN as usize);
+        self.next_addr += aligned as u64;
+        self.used += bytes;
+        self.high_water = self.high_water.max(self.used);
+        Ok(DeviceBuffer::new(data, addr))
+    }
+
+    /// Allocates a zero-initialized buffer of `len` elements.
+    pub fn alloc_zeroed<T: Copy + Default>(&mut self, len: usize) -> Result<DeviceBuffer<T>, OutOfDeviceMemory> {
+        self.alloc_from(vec![T::default(); len])
+    }
+
+    /// Releases a buffer's bytes back to the budget (addresses are not
+    /// reused; the address space is 2^64, exhaustion is not a concern).
+    pub fn free<T: Copy + Default>(&mut self, buf: DeviceBuffer<T>) {
+        self.used -= buf.alloc_bytes;
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Peak bytes allocated over the lifetime of the device.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_assigns_disjoint_aligned_addresses() {
+        let mut m = Memory::new(1 << 20);
+        let a = m.alloc_from(vec![0u32; 100]).unwrap();
+        let b = m.alloc_from(vec![0u32; 100]).unwrap();
+        assert_eq!(a.addr() % ALLOC_ALIGN, 0);
+        assert_eq!(b.addr() % ALLOC_ALIGN, 0);
+        assert!(b.addr() >= a.addr() + a.size_bytes() as u64);
+    }
+
+    #[test]
+    fn addr_of_scales_by_element_size() {
+        let mut m = Memory::new(1 << 20);
+        let a = m.alloc_from(vec![0u64; 16]).unwrap();
+        assert_eq!(a.addr_of(2) - a.addr(), 16);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut m = Memory::new(1024);
+        assert!(m.alloc_from(vec![0u8; 1025]).is_err());
+        let a = m.alloc_from(vec![0u8; 1000]).unwrap();
+        assert!(m.alloc_from(vec![0u8; 512]).is_err());
+        m.free(a);
+        assert!(m.alloc_from(vec![0u8; 512]).is_ok());
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut m = Memory::new(1024);
+        let a = m.alloc_from(vec![0u8; 600]).unwrap();
+        m.free(a);
+        let _b = m.alloc_from(vec![0u8; 100]).unwrap();
+        assert_eq!(m.high_water(), 600);
+        assert_eq!(m.used(), 100);
+    }
+
+    #[test]
+    fn truncate_keeps_full_allocation_charged() {
+        let mut m = Memory::new(1024);
+        let mut a = m.alloc_from(vec![0u8; 600]).unwrap();
+        a.truncate(10);
+        assert_eq!(a.len(), 10);
+        assert_eq!(m.used(), 600);
+        m.free(a);
+        assert_eq!(m.used(), 0);
+    }
+
+    #[test]
+    fn to_host_roundtrips() {
+        let mut m = Memory::new(1 << 20);
+        let a = m.alloc_from(vec![1i32, 2, 3]).unwrap();
+        assert_eq!(a.to_host(), vec![1, 2, 3]);
+    }
+}

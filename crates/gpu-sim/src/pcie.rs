@@ -1,0 +1,56 @@
+//! PCIe transfer and coprocessor execution models (Section 3.1).
+//!
+//! In the coprocessor model, data lives in host memory and is shipped to the
+//! GPU per query. The paper's bound: with perfect overlap of transfer and
+//! execution, query time is `max(transfer, exec)`, and since PCIe bandwidth
+//! is below the CPU's own memory bandwidth, the coprocessor can never beat a
+//! bandwidth-saturating CPU implementation.
+
+use crystal_hardware::PcieSpec;
+
+/// Outcome of a coprocessor-model query execution.
+#[derive(Debug, Clone, Copy)]
+pub struct CoprocessorTime {
+    /// Seconds spent shipping input columns host->device.
+    pub transfer: f64,
+    /// Seconds of device execution.
+    pub exec: f64,
+    /// Total with perfect transfer/execution overlap (the paper's lower
+    /// bound: `max(transfer, exec)`).
+    pub overlapped: f64,
+    /// Total with no overlap (`transfer + exec`) — an upper bound.
+    pub serial: f64,
+}
+
+/// Models running a query in the coprocessor model: `bytes` of input must
+/// cross PCIe, and the GPU itself needs `exec_secs`.
+pub fn coprocessor_time(pcie: &PcieSpec, bytes: usize, exec_secs: f64) -> CoprocessorTime {
+    let transfer = pcie.transfer_secs(bytes);
+    CoprocessorTime {
+        transfer,
+        exec: exec_secs,
+        overlapped: transfer.max(exec_secs),
+        serial: transfer + exec_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crystal_hardware::pcie_gen3;
+
+    #[test]
+    fn transfer_bound_when_pcie_is_bottleneck() {
+        // 1 GB over 12.8 GBps ~ 78 ms; exec of 5 ms is fully hidden.
+        let t = coprocessor_time(&pcie_gen3(), 1 << 30, 0.005);
+        assert!((t.overlapped - t.transfer).abs() < 1e-12);
+        assert!(t.overlapped > 0.07);
+        assert!(t.serial > t.overlapped);
+    }
+
+    #[test]
+    fn exec_bound_when_kernel_dominates() {
+        let t = coprocessor_time(&pcie_gen3(), 1 << 20, 0.5);
+        assert!((t.overlapped - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,156 @@
+//! Kernel execution statistics: the trace the timing model consumes.
+
+use crate::timing::SimTime;
+
+/// Raw resource counts accumulated while a kernel executes.
+///
+/// The counters follow the structure of the paper's models: global-memory
+/// bytes (split read/write, and split sequential/random so coalescing
+/// efficiency can be reasoned about), L2 traffic from cache-simulated
+/// gathers, shared-memory traffic, atomics (contended same-address vs
+/// scattered), barriers and compute.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelStats {
+    /// Coalesced (streaming) bytes read from global memory.
+    pub global_read_bytes: u64,
+    /// Coalesced (streaming) bytes written to global memory.
+    pub global_write_bytes: u64,
+    /// Bytes read from global memory by gathers that missed L2
+    /// (full cache lines).
+    pub gather_miss_bytes: u64,
+    /// Bytes written to global memory by scatters that missed L2.
+    pub scatter_miss_bytes: u64,
+    /// Bytes served from (or absorbed by) the L2 for gathers/scatters,
+    /// including the lines that missed (they pass through L2 too).
+    pub l2_bytes: u64,
+    /// Gather/scatter requests issued (one per element accessed).
+    pub random_requests: u64,
+    /// Shared-memory bytes read or written.
+    pub shared_bytes: u64,
+    /// Atomic operations targeting one contended address
+    /// (e.g. a global output cursor).
+    pub same_addr_atomics: u64,
+    /// Atomic operations scattered over a structure (e.g. hash-table slots,
+    /// group-by cells). These also generate `l2_bytes`/miss traffic via the
+    /// cache simulator.
+    pub scattered_atomics: u64,
+    /// `__syncthreads()` executions (one per block per barrier).
+    pub barriers: u64,
+    /// Generic ALU operations (adds, compares, hashes).
+    pub compute_ops: u64,
+    /// Special-function-unit operations (exp, for the sigmoid projection).
+    pub sfu_ops: u64,
+    /// Thread blocks executed.
+    pub blocks: u64,
+}
+
+impl KernelStats {
+    /// Total bytes that crossed the global-memory (HBM) interface.
+    pub fn hbm_read_bytes(&self) -> u64 {
+        self.global_read_bytes + self.gather_miss_bytes
+    }
+
+    /// Total bytes written through the HBM interface.
+    pub fn hbm_write_bytes(&self) -> u64 {
+        self.global_write_bytes + self.scatter_miss_bytes
+    }
+
+    /// Total HBM traffic.
+    pub fn hbm_bytes(&self) -> u64 {
+        self.hbm_read_bytes() + self.hbm_write_bytes()
+    }
+
+    /// Merges another kernel's counters into this one (used to aggregate
+    /// multi-kernel operators such as radix sort).
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.global_read_bytes += other.global_read_bytes;
+        self.global_write_bytes += other.global_write_bytes;
+        self.gather_miss_bytes += other.gather_miss_bytes;
+        self.scatter_miss_bytes += other.scatter_miss_bytes;
+        self.l2_bytes += other.l2_bytes;
+        self.random_requests += other.random_requests;
+        self.shared_bytes += other.shared_bytes;
+        self.same_addr_atomics += other.same_addr_atomics;
+        self.scattered_atomics += other.scattered_atomics;
+        self.barriers += other.barriers;
+        self.compute_ops += other.compute_ops;
+        self.sfu_ops += other.sfu_ops;
+        self.blocks += other.blocks;
+    }
+}
+
+/// A completed kernel launch: its name, launch geometry, raw counters and
+/// simulated time.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    pub name: String,
+    pub grid_dim: usize,
+    pub block_dim: usize,
+    pub items_per_thread: usize,
+    pub stats: KernelStats,
+    pub time: SimTime,
+}
+
+impl std::fmt::Display for KernelReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<24} <<<{}, {}>>> x{}  {:>9.3} ms  (hbm {:.2} GB, l2 {:.2} GB, atomics {}/{})",
+            self.name,
+            self.grid_dim,
+            self.block_dim,
+            self.items_per_thread,
+            self.time.total_secs() * 1e3,
+            self.stats.hbm_bytes() as f64 / 1e9,
+            self.stats.l2_bytes as f64 / 1e9,
+            self.stats.same_addr_atomics,
+            self.stats.scattered_atomics,
+        )
+    }
+}
+
+/// Sum of a sequence of kernel reports: total simulated seconds.
+pub fn total_time(reports: &[KernelReport]) -> f64 {
+    reports.iter().map(|r| r.time.total_secs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbm_totals_combine_streaming_and_misses() {
+        let s = KernelStats {
+            global_read_bytes: 100,
+            gather_miss_bytes: 28,
+            global_write_bytes: 50,
+            scatter_miss_bytes: 2,
+            ..Default::default()
+        };
+        assert_eq!(s.hbm_read_bytes(), 128);
+        assert_eq!(s.hbm_write_bytes(), 52);
+        assert_eq!(s.hbm_bytes(), 180);
+    }
+
+    #[test]
+    fn merge_adds_all_counters() {
+        let mut a = KernelStats {
+            global_read_bytes: 1,
+            barriers: 2,
+            blocks: 3,
+            ..Default::default()
+        };
+        let b = KernelStats {
+            global_read_bytes: 10,
+            barriers: 20,
+            blocks: 30,
+            sfu_ops: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.global_read_bytes, 11);
+        assert_eq!(a.barriers, 22);
+        assert_eq!(a.blocks, 33);
+        assert_eq!(a.sfu_ops, 5);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for the GPU simulator's cache, allocator and timing
+//! model.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use crystal_gpu_sim::cache::Cache;
+use crystal_gpu_sim::exec::{Gpu, LaunchConfig};
+use crystal_gpu_sim::stats::KernelStats;
+use crystal_gpu_sim::timing::{kernel_time, LaunchShape};
+use crystal_hardware::{nvidia_v100, CacheLevel};
+
+fn small_cache(assoc: usize) -> Cache {
+    Cache::new(&CacheLevel {
+        name: "t",
+        size: 4096,
+        bandwidth: 1.0,
+        line: 64,
+        assoc,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Hits + misses always equals accesses, and a cold cache's first
+    /// touch of each line is always a miss.
+    #[test]
+    fn cache_accounting_is_conserved(addrs in vec(0u64..100_000, 1..300), assoc in 1usize..8) {
+        let mut c = small_cache(assoc);
+        let mut seen = std::collections::HashSet::new();
+        for &a in &addrs {
+            seen.insert(a / 64);
+            c.access(a);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+        // Every distinct line's first touch is a cold miss.
+        prop_assert!(c.misses() >= seen.len() as u64);
+    }
+
+    /// Immediately re-touching the same address is always a hit.
+    #[test]
+    fn repeat_access_hits(addrs in vec(0u64..10_000, 1..100)) {
+        let mut c = small_cache(4);
+        for &a in &addrs {
+            c.access(a);
+            prop_assert_eq!(c.access(a), crystal_gpu_sim::cache::Access::Hit);
+        }
+    }
+
+    /// Device allocations never overlap, regardless of sizes.
+    #[test]
+    fn allocations_are_disjoint(sizes in vec(1usize..10_000, 1..40)) {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for &s in &sizes {
+            let buf = gpu.alloc_zeroed::<u8>(s);
+            let start = buf.addr();
+            let end = start + buf.size_bytes() as u64;
+            for &(a, b) in &ranges {
+                prop_assert!(end <= a || start >= b, "overlap: [{start},{end}) vs [{a},{b})");
+            }
+            ranges.push((start, end));
+        }
+    }
+
+    /// Kernel time is monotone in traffic: more bytes never makes a kernel
+    /// faster.
+    #[test]
+    fn timing_is_monotone_in_traffic(
+        base in 0u64..1_000_000_000,
+        extra in 0u64..1_000_000_000,
+        atomics in 0u64..1_000_000,
+    ) {
+        let spec = nvidia_v100();
+        let shape = LaunchShape {
+            block_dim: 128,
+            items_per_thread: 4,
+            shared_mem_per_block: 4096,
+            uses_barriers: true,
+        };
+        let s1 = KernelStats { global_read_bytes: base, same_addr_atomics: atomics, ..Default::default() };
+        let s2 = KernelStats { global_read_bytes: base + extra, same_addr_atomics: atomics, ..Default::default() };
+        let t1 = kernel_time(&spec, &shape, &s1).total_secs();
+        let t2 = kernel_time(&spec, &shape, &s2).total_secs();
+        prop_assert!(t2 >= t1);
+    }
+
+    /// Every block of a launch is invoked exactly once, in order.
+    #[test]
+    fn launch_covers_grid(n in 1usize..100_000, bs_pow in 5u32..10, ipt in 1usize..5) {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let bs = 1usize << bs_pow;
+        let cfg = LaunchConfig::for_items(n, bs, ipt);
+        let mut blocks = Vec::new();
+        let mut covered = 0usize;
+        gpu.launch("t", cfg, |ctx| {
+            blocks.push(ctx.block_idx);
+            let (_, len) = ctx.tile_bounds(n);
+            covered += len;
+        });
+        prop_assert_eq!(blocks.len(), cfg.grid_dim);
+        prop_assert!(blocks.windows(2).all(|w| w[1] == w[0] + 1));
+        prop_assert_eq!(covered, n, "tiles must cover all items exactly once");
+    }
+
+    /// Occupancy never exceeds 1 and resident blocks respect all limits.
+    #[test]
+    fn occupancy_bounds(bs_pow in 5u32..11, smem in 0usize..200_000) {
+        let spec = nvidia_v100();
+        let bs = 1usize << bs_pow;
+        let occ = spec.occupancy(bs, smem);
+        prop_assert!((0.0..=1.0).contains(&occ));
+        let blocks = spec.resident_blocks_per_sm(bs, smem);
+        prop_assert!(blocks <= spec.max_blocks_per_sm);
+        prop_assert!(blocks * bs <= spec.max_threads_per_sm);
+    }
+}
+
+#[test]
+fn free_returns_memory_budget() {
+    let mut gpu = Gpu::new(nvidia_v100());
+    let a = gpu.alloc_zeroed::<u64>(1000);
+    let b = gpu.alloc_zeroed::<u64>(2000);
+    assert_eq!(gpu.mem_used(), 24_000);
+    gpu.free(a);
+    gpu.free(b);
+    assert_eq!(gpu.mem_used(), 0);
+    assert_eq!(gpu.mem_high_water(), 24_000);
+}
+
+#[test]
+fn oom_is_reported_not_panicked() {
+    let mut gpu = Gpu::new(nvidia_v100());
+    let cap = gpu.spec().mem_capacity;
+    let err = gpu.try_alloc_zeroed::<u8>(cap + 1).unwrap_err();
+    assert!(err.requested > err.available);
+}
+
+/// The simulator is fully deterministic: the same kernel sequence yields
+/// bit-identical statistics and simulated times across runs.
+#[test]
+fn simulation_is_deterministic() {
+    let run = || {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let buf = gpu.alloc_zeroed::<i64>(1 << 14);
+        let cfg = LaunchConfig::for_items(1 << 14, 128, 4);
+        let mut acc = 0u64;
+        gpu.launch("mix", cfg, |ctx| {
+            let (start, len) = ctx.tile_bounds(1 << 14);
+            ctx.global_read_coalesced(len * 8);
+            for i in start..start + len {
+                // Pseudo-random gathers drive the cache simulator.
+                let j = (i.wrapping_mul(2654435761)) % (1 << 14);
+                ctx.gather(buf.addr_of(j), 8);
+                acc = acc.wrapping_add(j as u64);
+            }
+            ctx.atomic_same_addr(1);
+        });
+        let r = gpu.take_reports().pop().unwrap();
+        (r.stats, format!("{:?}", r.time), acc)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+}

@@ -1,0 +1,52 @@
+//! Byte-size constants and human-readable formatting helpers.
+
+/// One kibibyte (1024 bytes).
+pub const KIB: usize = 1024;
+/// One mebibyte.
+pub const MIB: usize = 1024 * KIB;
+/// One gibibyte.
+pub const GIB: usize = 1024 * MIB;
+
+/// Formats a byte count with a binary-prefix unit, e.g. `8KB`, `6MB`, `1GB`.
+///
+/// Matches the axis labels of the paper's figures (which use `8KB`, `32KB`,
+/// ..., `512MB` for hash-table sizes).
+pub fn fmt_bytes(n: usize) -> String {
+    if n >= GIB && n.is_multiple_of(GIB) {
+        format!("{}GB", n / GIB)
+    } else if n >= MIB && n.is_multiple_of(MIB) {
+        format!("{}MB", n / MIB)
+    } else if n >= KIB && n.is_multiple_of(KIB) {
+        format!("{}KB", n / KIB)
+    } else {
+        format!("{n}B")
+    }
+}
+
+/// Formats a bandwidth in GBps (decimal, matching the paper's convention).
+pub fn fmt_bw(bytes_per_sec: f64) -> String {
+    if bytes_per_sec >= 1e12 {
+        format!("{:.1}TBps", bytes_per_sec / 1e12)
+    } else {
+        format!("{:.0}GBps", bytes_per_sec / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_match_paper_axes() {
+        assert_eq!(fmt_bytes(8 * KIB), "8KB");
+        assert_eq!(fmt_bytes(512 * MIB), "512MB");
+        assert_eq!(fmt_bytes(GIB), "1GB");
+        assert_eq!(fmt_bytes(100), "100B");
+    }
+
+    #[test]
+    fn formats_bandwidth() {
+        assert_eq!(fmt_bw(880.0e9), "880GBps");
+        assert_eq!(fmt_bw(2.2e12), "2.2TBps");
+    }
+}

@@ -1,0 +1,111 @@
+//! CPU hardware description (paper Table 2, left column).
+
+use crate::cache::CacheLevel;
+
+/// Characteristics of a multicore CPU relevant to in-memory analytics.
+///
+/// The fields mirror Table 2 of the paper plus the two calibration constants
+/// the CPU timing model needs (documented at [`crate::intel_i7_6900`]).
+#[derive(Debug, Clone)]
+pub struct CpuSpec {
+    pub name: String,
+    /// Physical cores.
+    pub cores: usize,
+    /// SMT ways per core (2 = hyper-threading).
+    pub smt: usize,
+    pub clock_ghz: f64,
+    /// 32-bit SIMD lanes per vector instruction (AVX2 = 8).
+    pub simd_lanes_32: usize,
+    /// Per-core L1 data cache, bytes.
+    pub l1_size: usize,
+    /// Per-core L2 cache, bytes.
+    pub l2_size: usize,
+    /// Shared L3 cache, bytes.
+    pub l3_size: usize,
+    /// Cache line, bytes (the DRAM random-access granularity).
+    pub cache_line: usize,
+    pub mem_capacity: usize,
+    /// DRAM read bandwidth, bytes/sec.
+    pub read_bw: f64,
+    /// DRAM write bandwidth, bytes/sec.
+    pub write_bw: f64,
+    /// Aggregate L2 bandwidth, bytes/sec (estimated; Table 2 leaves it blank).
+    pub l2_bw: f64,
+    /// L3 bandwidth, bytes/sec.
+    pub l3_bw: f64,
+    /// Effective cycles lost per branch misprediction (calibration constant).
+    pub branch_miss_penalty_cycles: f64,
+    /// Fraction of peak DRAM bandwidth achieved by dependent random accesses
+    /// (calibration constant; CPUs cannot hide miss latency on irregular
+    /// access patterns — Section 5.3).
+    pub random_access_efficiency: f64,
+}
+
+impl CpuSpec {
+    /// Total hardware threads (`cores * smt`).
+    pub fn threads(&self) -> usize {
+        self.cores * self.smt
+    }
+
+    /// Aggregate scalar flops: `cores * clock` (1 FMA port assumed).
+    pub fn scalar_flops(&self) -> f64 {
+        self.cores as f64 * self.clock_ghz * 1e9
+    }
+
+    /// Aggregate SIMD flops over 32-bit lanes.
+    pub fn simd_flops(&self) -> f64 {
+        self.scalar_flops() * self.simd_lanes_32 as f64
+    }
+
+    /// The cache hierarchy as seen by one thread doing random accesses:
+    /// private L2 then shared L3 (L1 is too small to matter for the paper's
+    /// hash-table experiments but is included for completeness).
+    pub fn cache_hierarchy(&self) -> Vec<CacheLevel> {
+        vec![
+            CacheLevel {
+                name: "L1",
+                size: self.l1_size,
+                bandwidth: self.l2_bw * 2.0,
+                line: self.cache_line,
+                assoc: 8,
+            },
+            CacheLevel {
+                name: "L2",
+                size: self.l2_size,
+                bandwidth: self.l2_bw,
+                line: self.cache_line,
+                assoc: 8,
+            },
+            CacheLevel {
+                name: "L3",
+                size: self.l3_size,
+                bandwidth: self.l3_bw,
+                line: self.cache_line,
+                assoc: 16,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::intel_i7_6900;
+
+    #[test]
+    fn threads_counts_smt() {
+        assert_eq!(intel_i7_6900().threads(), 16);
+    }
+
+    #[test]
+    fn simd_is_8x_scalar() {
+        let c = intel_i7_6900();
+        assert!((c.simd_flops() / c.scalar_flops() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hierarchy_ordered_by_size() {
+        let h = intel_i7_6900().cache_hierarchy();
+        assert!(h.windows(2).all(|w| w[0].size <= w[1].size));
+        assert_eq!(h.last().unwrap().name, "L3");
+    }
+}

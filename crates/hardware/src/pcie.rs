@@ -1,0 +1,41 @@
+//! PCIe link description (the CPU<->GPU interconnect).
+
+/// The host-device interconnect. The paper measures 12.8 GBps bidirectional
+/// on PCIe 3.0 x16 and shows (Section 3.1) that since this is below the CPU's
+/// own memory bandwidth, the coprocessor execution model cannot beat a good
+/// CPU-only implementation.
+#[derive(Debug, Clone)]
+pub struct PcieSpec {
+    /// Sustained transfer bandwidth, bytes/sec.
+    pub bandwidth: f64,
+    /// Per-transfer setup latency, microseconds.
+    pub latency_us: f64,
+}
+
+impl PcieSpec {
+    /// Time to ship `bytes` across the link, seconds.
+    pub fn transfer_secs(&self, bytes: usize) -> f64 {
+        self.latency_us * 1e-6 + bytes as f64 / self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::pcie_gen3;
+
+    #[test]
+    fn transfer_time_is_bandwidth_bound_for_large_payloads() {
+        let p = pcie_gen3();
+        // 1.92 GB (four SF-20 SSB columns) ~ 150ms, matching Figure 3's
+        // coprocessor floor.
+        let t = p.transfer_secs(4 * 480_000_000);
+        assert!((0.14..0.16).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn latency_dominates_tiny_transfers() {
+        let p = pcie_gen3();
+        let t = p.transfer_secs(64);
+        assert!(t >= 10.0e-6);
+    }
+}

@@ -1,0 +1,82 @@
+//! Cost comparison (Section 5.4, Table 3).
+//!
+//! "For CPU, we choose the instance type r5.2xlarge ... $0.504 per hour.
+//! For GPU, we choose the instance type p3.2xlarge ... $3.06 per hour. The
+//! cost ratio of the two systems is about 6x. ... The average performance
+//! gap, however, is about 25x ... which leads to a factor of 4 improvement
+//! in cost effectiveness of GPU over CPU."
+
+/// Table 3's renting costs, dollars per hour.
+#[derive(Debug, Clone, Copy)]
+pub struct RentingCosts {
+    pub cpu_per_hour: f64,
+    pub gpu_per_hour: f64,
+}
+
+/// Table 3's purchase costs, dollars (CPU server blade; GPU adds a V100).
+#[derive(Debug, Clone, Copy)]
+pub struct PurchaseCosts {
+    pub cpu_low: f64,
+    pub cpu_high: f64,
+    pub gpu_addon: f64,
+}
+
+/// AWS prices used by the paper (r5.2xlarge vs p3.2xlarge).
+pub fn table3_renting() -> RentingCosts {
+    RentingCosts {
+        cpu_per_hour: 0.504,
+        gpu_per_hour: 3.06,
+    }
+}
+
+/// Server-blade estimates used by the paper.
+pub fn table3_purchase() -> PurchaseCosts {
+    PurchaseCosts {
+        cpu_low: 2_000.0,
+        cpu_high: 5_000.0,
+        gpu_addon: 8_500.0,
+    }
+}
+
+impl RentingCosts {
+    /// GPU-to-CPU price ratio (~6x for the paper's instances).
+    pub fn cost_ratio(&self) -> f64 {
+        self.gpu_per_hour / self.cpu_per_hour
+    }
+}
+
+impl PurchaseCosts {
+    /// Price ratio at the high-end CPU configuration (paper: "less than 6x").
+    pub fn cost_ratio_high_end(&self) -> f64 {
+        (self.cpu_high + self.gpu_addon) / self.cpu_high
+    }
+}
+
+/// Cost-effectiveness improvement: performance gain divided by cost ratio.
+pub fn cost_effectiveness(speedup: f64, cost_ratio: f64) -> f64 {
+    speedup / cost_ratio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renting_ratio_is_about_six() {
+        let r = table3_renting().cost_ratio();
+        assert!((5.9..6.2).contains(&r), "ratio {r}");
+    }
+
+    #[test]
+    fn purchase_ratio_under_six_at_high_end() {
+        let r = table3_purchase().cost_ratio_high_end();
+        assert!(r < 6.0, "ratio {r}");
+    }
+
+    /// The headline: 25x speedup over ~6x cost = ~4x cost effectiveness.
+    #[test]
+    fn four_x_cost_effectiveness() {
+        let ce = cost_effectiveness(25.0, table3_renting().cost_ratio());
+        assert!((3.8..4.4).contains(&ce), "cost effectiveness {ce}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Hash-join probe models (Section 4.3).
+//!
+//! The probe scans the probe relation (two 4-byte columns) and makes one
+//! random access per tuple into the hash table. The paper's two regimes:
+//!
+//! 1. Hash table fits in the level-K cache:
+//!    `runtime = max(4*2*|P|/Br, (1 - pi_{K-1}) * |P|*C / B_K)` — the scan
+//!    and the (cached) probes overlap; whichever resource saturates first
+//!    bounds the runtime.
+//! 2. Hash table exceeds the last-level cache:
+//!    `runtime = 4*2*|P|/Br + (1 - pi) * |P|*C / Br` — probe misses compete
+//!    with the scan for DRAM bandwidth, so the terms add.
+//!
+//! `pi_K = min(S_K / H, 1)` is the hit probability of level K for a table
+//! of `H` bytes, and `C` is the cache-line granularity of a random access
+//! (64 B on the CPU, 128 B on the GPU — the reason the paper expects only
+//! ~8x GPU gain in the out-of-cache regime instead of 16x).
+
+use crystal_hardware::{CacheLevel, CpuSpec, GpuSpec};
+
+use crate::ENTRY_BYTES;
+
+/// Ideal probe-phase runtime for a hierarchy of cache levels (ordered
+/// smallest to largest) above device memory.
+///
+/// `line` is the device-memory random-access granularity; each level's own
+/// `line` field is the per-probe transfer size when the table is resident
+/// there.
+pub fn join_probe_secs(
+    probe_rows: usize,
+    ht_bytes: usize,
+    read_bw: f64,
+    line: usize,
+    levels: &[CacheLevel],
+) -> f64 {
+    let p = probe_rows as f64;
+    let scan = 2.0 * ENTRY_BYTES * p / read_bw;
+
+    // Find the first (smallest) level that holds the whole table.
+    if let Some(k) = levels.iter().position(|l| l.size >= ht_bytes) {
+        let prev_hit = if k == 0 { 0.0 } else { levels[k - 1].hit_ratio(ht_bytes) };
+        let probe = (1.0 - prev_hit) * p * levels[k].line as f64 / levels[k].bandwidth;
+        scan.max(probe)
+    } else {
+        // Out of cache: misses past the last level go to device memory.
+        let pi = levels.last().map(|l| l.hit_ratio(ht_bytes)).unwrap_or(0.0);
+        scan + (1.0 - pi) * p * line as f64 / read_bw
+    }
+}
+
+/// CPU ideal model: probes resolve in L2/L3/DRAM (the paper's "CPU Model"
+/// line in Figure 13; L1 is too small to matter at these table sizes).
+pub fn join_probe_cpu_secs(probe_rows: usize, ht_bytes: usize, cpu: &CpuSpec) -> f64 {
+    let hierarchy: Vec<CacheLevel> = cpu
+        .cache_hierarchy()
+        .into_iter()
+        .filter(|l| l.name != "L1")
+        .collect();
+    join_probe_secs(probe_rows, ht_bytes, cpu.read_bw, cpu.cache_line, &hierarchy)
+}
+
+/// CPU empirical model: the measured CPU curve sits above the ideal one
+/// out-of-cache because dependent random accesses cannot saturate DRAM
+/// ("the model assumes maximum main memory bandwidth, which is not
+/// achievable as the hash table causes random memory access patterns").
+pub fn join_probe_cpu_empirical_secs(probe_rows: usize, ht_bytes: usize, cpu: &CpuSpec) -> f64 {
+    let hierarchy: Vec<CacheLevel> = cpu
+        .cache_hierarchy()
+        .into_iter()
+        .filter(|l| l.name != "L1")
+        .collect();
+    let p = probe_rows as f64;
+    let scan = 2.0 * ENTRY_BYTES * p / cpu.read_bw;
+    let c = cpu.cache_line as f64;
+    if let Some(k) = hierarchy.iter().position(|l| l.size >= ht_bytes) {
+        let prev_hit = if k == 0 { 0.0 } else { hierarchy[k - 1].hit_ratio(ht_bytes) };
+        let probe = (1.0 - prev_hit) * p * c / hierarchy[k].bandwidth;
+        scan.max(probe)
+    } else {
+        let pi = hierarchy.last().map(|l| l.hit_ratio(ht_bytes)).unwrap_or(0.0);
+        scan + (1.0 - pi) * p * c / (cpu.read_bw * cpu.random_access_efficiency)
+    }
+}
+
+/// GPU ideal model: probes resolve in the device-wide L2 (at the sector-
+/// granular transfer size) or miss to HBM at full 128-byte lines.
+pub fn join_probe_gpu_secs(probe_rows: usize, ht_bytes: usize, gpu: &GpuSpec) -> f64 {
+    let l2 = CacheLevel {
+        line: gpu.l2_transfer_bytes,
+        ..gpu.l2_level()
+    };
+    join_probe_secs(probe_rows, ht_bytes, gpu.read_bw, gpu.cache_line, &[l2])
+}
+
+/// Build-phase model: scanning the build relation and writing each slot
+/// (random writes that mostly go to memory — "the build phase runtimes are
+/// less affected by caches as writes to hash table end up going to
+/// memory").
+pub fn join_build_secs(build_rows: usize, read_bw: f64, write_bw: f64, line: usize) -> f64 {
+    let b = build_rows as f64;
+    2.0 * ENTRY_BYTES * b / read_bw + b * line as f64 / write_bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crystal_hardware::{intel_i7_6900, nvidia_v100, KIB, MIB};
+
+    /// Figure 13 probe-side geometry: 256M probe tuples.
+    const P: usize = 1 << 28;
+
+    #[test]
+    fn cpu_model_steps_at_l2_and_l3_capacity() {
+        let c = intel_i7_6900();
+        let in_l2 = join_probe_cpu_secs(P, 128 * KIB, &c);
+        let in_l3 = join_probe_cpu_secs(P, 2 * MIB, &c);
+        let in_mem = join_probe_cpu_secs(P, 512 * MIB, &c);
+        assert!(in_l2 <= in_l3, "{in_l2} <= {in_l3}");
+        assert!(in_l3 < in_mem, "{in_l3} < {in_mem}");
+    }
+
+    #[test]
+    fn gpu_model_steps_at_l2_capacity() {
+        let g = nvidia_v100();
+        let small = join_probe_gpu_secs(P, MIB, &g);
+        let large = join_probe_gpu_secs(P, 512 * MIB, &g);
+        assert!(small < large);
+        // In-L2 probes are bound by L2 sector traffic, which exceeds the
+        // probe-relation scan time.
+        let probe = P as f64 * g.l2_transfer_bytes as f64 / g.l2_bw;
+        assert!((small - probe).abs() < 1e-9, "small {small} vs probe {probe}");
+    }
+
+    /// Paper: "when the hash table size is between 32KB and 128KB ... the
+    /// average gains are roughly 5.5x" (CPU DRAM-bound vs GPU L2-bound).
+    #[test]
+    fn small_table_gain_is_well_below_bandwidth_ratio() {
+        let c = intel_i7_6900();
+        let g = nvidia_v100();
+        let h = 64 * KIB;
+        let ratio = join_probe_cpu_secs(P, h, &c) / join_probe_gpu_secs(P, h, &g);
+        assert!(
+            (3.0..8.0).contains(&ratio),
+            "small-table gain {ratio} should be ~5.5, not the 16.2 bandwidth ratio"
+        );
+    }
+
+    /// Paper: beyond 128MB neither caches help; the 128B-vs-64B granularity
+    /// halves the expected gain to ~8.1x (measured 10.5x with stalls).
+    #[test]
+    fn large_table_gain_reflects_line_granularity() {
+        let c = intel_i7_6900();
+        let g = nvidia_v100();
+        let h = 512 * MIB;
+        let ideal = join_probe_cpu_secs(P, h, &c) / join_probe_gpu_secs(P, h, &g);
+        assert!((6.0..10.0).contains(&ideal), "ideal large-table gain {ideal}");
+        let empirical = join_probe_cpu_empirical_secs(P, h, &c) / join_probe_gpu_secs(P, h, &g);
+        assert!(
+            empirical > ideal,
+            "stalls push the measured ratio above the ideal one"
+        );
+        assert!((9.0..14.0).contains(&empirical), "empirical gain {empirical}");
+    }
+
+    #[test]
+    fn empirical_matches_ideal_in_cache() {
+        let c = intel_i7_6900();
+        let h = 64 * KIB;
+        assert!(
+            (join_probe_cpu_empirical_secs(P, h, &c) - join_probe_cpu_secs(P, h, &c)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn build_scales_linearly() {
+        let g = nvidia_v100();
+        let t1 = join_build_secs(1 << 20, g.read_bw, g.write_bw, g.cache_line);
+        let t2 = join_build_secs(1 << 21, g.read_bw, g.write_bw, g.cache_line);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,31 @@
+//! # crystal-models — the paper's analytical cost models
+//!
+//! Every closed-form model the paper derives, implemented verbatim and
+//! parameterized by the Table 2 hardware specs:
+//!
+//! * [`project`] — Section 4.1: `2*4N/Br + 4N/Bw`.
+//! * [`select`] — Section 4.2: `4N/Br + 4*sigma*N/Bw`, plus the *empirical*
+//!   CPU variants (branch misprediction hump of Figure 12).
+//! * [`join`] — Section 4.3: the cache-level probe models with
+//!   `pi_K = min(S_K/H, 1)`, for both the in-cache and out-of-cache regimes,
+//!   plus the CPU stall-adjusted empirical variant.
+//! * [`sort`] — Section 4.4: histogram and shuffle pass models and full
+//!   LSB/MSB sort compositions.
+//! * [`ssb`] — Section 5.3: the three-component model of SSB q2.1 (and the
+//!   q1.x scan model), and Section 3.1's coprocessor bounds.
+//! * [`cost`] — Section 5.4: purchase/renting cost effectiveness (Table 3).
+//!
+//! Each function returns seconds. "Ideal" models assume perfect bandwidth
+//! saturation (the paper's dashed "Model" lines); "empirical" variants add
+//! the calibrated imperfections the paper measures but does not model
+//! (branch mispredictions, CPU memory stalls on irregular access).
+
+pub mod cost;
+pub mod join;
+pub mod project;
+pub mod select;
+pub mod sort;
+pub mod ssb;
+
+/// Bytes per column entry throughout the paper's workloads.
+pub const ENTRY_BYTES: f64 = 4.0;

@@ -1,0 +1,68 @@
+//! Radix-sort models (Section 4.4).
+//!
+//! Histogram phase: "we read in the key column and write out a tiny
+//! histogram: `runtime = 4*R/Br`."
+//! Shuffle phase: "we read both the key and payload column and at the end
+//! write out the radix partitioned key and payload columns:
+//! `runtime = 2*4*R/Br + 2*4*R/Bw`."
+//! A full radix sort is a sequence of such passes.
+
+use crate::ENTRY_BYTES;
+
+/// Histogram-pass model, seconds.
+pub fn histogram_secs(rows: usize, read_bw: f64) -> f64 {
+    ENTRY_BYTES * rows as f64 / read_bw
+}
+
+/// Shuffle-pass model, seconds.
+pub fn shuffle_secs(rows: usize, read_bw: f64, write_bw: f64) -> f64 {
+    2.0 * ENTRY_BYTES * rows as f64 / read_bw + 2.0 * ENTRY_BYTES * rows as f64 / write_bw
+}
+
+/// Full radix sort of `rows` 32-bit key/value pairs in `passes` passes
+/// (each pass = histogram + shuffle).
+pub fn radix_sort_secs(rows: usize, passes: usize, read_bw: f64, write_bw: f64) -> f64 {
+    passes as f64 * (histogram_secs(rows, read_bw) + shuffle_secs(rows, read_bw, write_bw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crystal_hardware::{intel_i7_6900, nvidia_v100};
+
+    /// Section 4.4 scale: 2^28 entries.
+    const R: usize = 1 << 28;
+
+    /// "The time taken to sort 2^28 entries is 464 ms on the CPU and
+    /// 27.08 ms on the GPU. The runtime gain is 17.13x."
+    #[test]
+    fn full_sort_endpoints_match_paper() {
+        let c = intel_i7_6900();
+        let g = nvidia_v100();
+        // CPU: 4 stable 8-bit passes.
+        let cpu = radix_sort_secs(R, 4, c.read_bw, c.write_bw) * 1e3;
+        // GPU: 4 MSB passes.
+        let gpu = radix_sort_secs(R, 4, g.read_bw, g.write_bw) * 1e3;
+        // The models are lower bounds; the measured 464 ms / 27.08 ms sit
+        // ~1.4x above them (histogram overlap, partial lines).
+        assert!((250.0..500.0).contains(&cpu), "cpu {cpu} ms");
+        assert!((15.0..30.0).contains(&gpu), "gpu {gpu} ms");
+        let ratio = cpu / gpu;
+        assert!((15.5..17.5).contains(&ratio), "gain {ratio} ~ bandwidth ratio");
+    }
+
+    /// The GPU's stable LSB needs 5 passes vs MSB's 4: a 25% penalty.
+    #[test]
+    fn lsb_vs_msb_pass_count_penalty() {
+        let g = nvidia_v100();
+        let lsb = radix_sort_secs(R, 5, g.read_bw, g.write_bw);
+        let msb = radix_sort_secs(R, 4, g.read_bw, g.write_bw);
+        assert!((lsb / msb - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_is_cheaper_than_shuffle() {
+        let c = intel_i7_6900();
+        assert!(histogram_secs(R, c.read_bw) < shuffle_secs(R, c.read_bw, c.write_bw) / 2.0);
+    }
+}

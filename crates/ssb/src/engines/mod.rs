@@ -1,0 +1,239 @@
+//! Query engines: one execution style per module, all interpreting the
+//! same [`crate::plan::StarQuery`] descriptors.
+
+pub mod copro;
+pub mod cpu;
+pub mod gpu;
+pub mod hyper;
+pub mod monet;
+pub mod omnisci;
+pub mod reference;
+
+use crate::data::SsbData;
+use crate::plan::{DimJoin, DimTable, StarQuery};
+
+/// A perfect-hash dimension lookup: payload array indexed by
+/// `key - min_key`. Entry `-1` means the dimension row was filtered out (or
+/// the key does not exist); other entries hold the dense group code of the
+/// row (0 when the join carries no group attribute).
+///
+/// This is the CPU-side analog of the paper's perfect-hashed dimension
+/// tables (Section 5.3); the GPU engine uses
+/// [`crystal_core::hash::DeviceHashTable`] with the `Perfect` scheme so the
+/// footprint matches the paper's `2 x 4 x |dim|` accounting.
+#[derive(Debug, Clone)]
+pub struct DimLookup {
+    min_key: i32,
+    table: Vec<i32>,
+    /// Dimension rows passing the join filter.
+    pub inserted: usize,
+}
+
+impl DimLookup {
+    /// Builds the lookup for one join of the plan.
+    pub fn build(d: &SsbData, join: &DimJoin) -> Self {
+        let keys = join.keys(d);
+        let min_key = keys.iter().copied().min().unwrap_or(0);
+        let max_key = keys.iter().copied().max().unwrap_or(0);
+        let mut table = vec![-1i32; (max_key - min_key + 1) as usize];
+        let mut inserted = 0;
+        for (row, &k) in keys.iter().enumerate() {
+            if join.row_matches(d, row) {
+                let group = match join.group_attr {
+                    None => 0,
+                    Some(a) => a.dense(join.row_group_value(d, row)) as i32,
+                };
+                table[(k - min_key) as usize] = group;
+                inserted += 1;
+            }
+        }
+        DimLookup {
+            min_key,
+            table,
+            inserted,
+        }
+    }
+
+    /// Probes one key: `Some(dense_group_code)` if present and unfiltered.
+    #[inline]
+    pub fn get(&self, key: i32) -> Option<i32> {
+        let idx = key.wrapping_sub(self.min_key);
+        if (0..self.table.len() as i32).contains(&idx) {
+            let v = self.table[idx as usize];
+            if v >= 0 {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Footprint with the paper's 8-bytes-per-slot accounting (key +
+    /// payload).
+    pub fn size_bytes(&self) -> usize {
+        self.table.len() * 8
+    }
+}
+
+/// Probe statistics of one join stage.
+#[derive(Debug, Clone)]
+pub struct StageTrace {
+    pub table: DimTable,
+    /// Probes issued (rows surviving earlier stages).
+    pub probes: usize,
+    /// Probes that found a matching, unfiltered dimension row.
+    pub hits: usize,
+    /// Hash-table footprint at the executed scale.
+    pub ht_bytes: usize,
+    /// Fraction of dimension rows inserted (surviving the dim filter).
+    pub dim_insert_frac: f64,
+}
+
+/// Execution trace of one query: the inputs of the Section 5.3 model.
+#[derive(Debug, Clone)]
+pub struct QueryTrace {
+    pub fact_rows: usize,
+    /// Rows passing the fact-column predicates (== fact_rows when none).
+    pub pred_survivors: usize,
+    pub stages: Vec<StageTrace>,
+    /// Rows reaching the aggregate.
+    pub result_rows: usize,
+    /// Non-empty output groups.
+    pub groups: usize,
+}
+
+impl QueryTrace {
+    /// Cumulative selectivity before stage `i` (1.0 before the first).
+    pub fn selectivity_before_stage(&self, i: usize) -> f64 {
+        if self.fact_rows == 0 {
+            return 0.0;
+        }
+        let mut frac = self.pred_survivors as f64 / self.fact_rows as f64;
+        for s in &self.stages[..i] {
+            frac *= if s.probes == 0 {
+                0.0
+            } else {
+                s.hits as f64 / s.probes as f64
+            };
+        }
+        frac
+    }
+
+    /// Final selectivity (rows reaching the aggregate per fact row).
+    pub fn result_frac(&self) -> f64 {
+        if self.fact_rows == 0 {
+            0.0
+        } else {
+            self.result_rows as f64 / self.fact_rows as f64
+        }
+    }
+}
+
+/// Computes the dense mixed-radix group index from per-join dense codes.
+#[inline]
+pub fn group_index(domains: &[usize], codes: &[i32]) -> usize {
+    debug_assert_eq!(domains.len(), codes.len());
+    let mut idx = 0usize;
+    for (d, &c) in domains.iter().zip(codes) {
+        idx = idx * d + c as usize;
+    }
+    idx
+}
+
+/// Decodes a dense group index back into per-attribute dense codes.
+pub fn group_decode(domains: &[usize], mut idx: usize) -> Vec<i32> {
+    let mut codes = vec![0i32; domains.len()];
+    for (i, d) in domains.iter().enumerate().rev() {
+        codes[i] = (idx % d) as i32;
+        idx /= d;
+    }
+    codes
+}
+
+/// Converts a dense aggregate array into a [`crate::QueryResult`], mapping
+/// dense codes back to attribute values.
+pub fn groups_to_result(q: &StarQuery, agg: &[i64]) -> crate::QueryResult {
+    let attrs = q.group_attrs();
+    if attrs.is_empty() {
+        return crate::QueryResult::Scalar(agg.first().copied().unwrap_or(0));
+    }
+    let domains: Vec<usize> = attrs.iter().map(|a| a.domain()).collect();
+    crate::QueryResult::from_groups(agg.iter().enumerate().filter(|(_, &s)| s != 0).map(
+        |(idx, &s)| {
+            let codes = group_decode(&domains, idx);
+            let key: Vec<i32> = codes
+                .iter()
+                .zip(&attrs)
+                .map(|(&c, a)| a.from_dense(c as usize))
+                .collect();
+            (key, s)
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_index_roundtrips() {
+        let domains = [7usize, 1000, 25];
+        for codes in [[0i32, 0, 0], [6, 999, 24], [3, 511, 7]] {
+            let idx = group_index(&domains, &codes);
+            assert_eq!(group_decode(&domains, idx), codes.to_vec());
+        }
+    }
+
+    #[test]
+    fn dim_lookup_filters_and_groups() {
+        use crate::plan::{DimAttr, DimJoin, DimPred, DimTable, FactCol};
+        let d = SsbData::generate_scaled(1, 0.0005, 3);
+        let join = DimJoin {
+            table: DimTable::Supplier,
+            fact_fk: FactCol::SuppKey,
+            filter: Some(DimPred::Eq(DimAttr::Region, 0)),
+            group_attr: Some(DimAttr::Nation),
+        };
+        let lk = DimLookup::build(&d, &join);
+        assert!(lk.inserted > 0 && lk.inserted < d.supplier.suppkey.len());
+        for (row, &key) in d.supplier.suppkey.iter().enumerate() {
+            let expect = if d.supplier.region[row] == 0 {
+                Some(d.supplier.nation[row])
+            } else {
+                None
+            };
+            assert_eq!(lk.get(key), expect);
+        }
+        assert_eq!(lk.get(-5), None);
+        assert_eq!(lk.get(i32::MAX), None);
+    }
+
+    #[test]
+    fn trace_selectivity_math() {
+        let t = QueryTrace {
+            fact_rows: 1000,
+            pred_survivors: 1000,
+            stages: vec![
+                StageTrace {
+                    table: DimTable::Supplier,
+                    probes: 1000,
+                    hits: 200,
+                    ht_bytes: 0,
+                    dim_insert_frac: 0.2,
+                },
+                StageTrace {
+                    table: DimTable::Part,
+                    probes: 200,
+                    hits: 8,
+                    ht_bytes: 0,
+                    dim_insert_frac: 0.04,
+                },
+            ],
+            result_rows: 8,
+            groups: 3,
+        };
+        assert!((t.selectivity_before_stage(0) - 1.0).abs() < 1e-12);
+        assert!((t.selectivity_before_stage(1) - 0.2).abs() < 1e-12);
+        assert!((t.selectivity_before_stage(2) - 0.008).abs() < 1e-12);
+        assert!((t.result_frac() - 0.008).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,37 @@
+//! # crystal-ssb — the Star Schema Benchmark, end to end
+//!
+//! Everything Section 5 of the paper evaluates: the SSB data generator
+//! (dictionary-encoded, 4-byte columns), the 13 benchmark queries, and the
+//! engine styles being compared:
+//!
+//! | Engine | Paper counterpart | Module |
+//! |---|---|---|
+//! | [`engines::gpu`] | Standalone GPU (Crystal, tile-based) | runs on `crystal-gpu-sim` |
+//! | [`engines::cpu`] | Standalone CPU (fused, vectorized) | real multi-threaded Rust |
+//! | [`engines::hyper`] | Hyper | tuple-at-a-time compiled-style pipelines |
+//! | [`engines::monet`] | MonetDB | operator-at-a-time, full materialization |
+//! | [`engines::omnisci`] | Omnisci | GPU thread-per-row, operator-at-a-time |
+//! | [`engines::reference`] | — | row-wise oracle for correctness |
+//! | [`engines::copro`] | GPU coprocessor (Section 3.1) | PCIe-shipped execution |
+//!
+//! Queries are expressed once as [`plan::StarQuery`] descriptors (fact
+//! predicates, ordered dimension joins with filters and group attributes,
+//! and an aggregate expression); each engine interprets the same plan in
+//! its own execution style, which is precisely the axis the paper studies.
+//!
+//! [`model`] converts execution traces into paper-scale (SF-20) runtime
+//! predictions using the Section 5.3 methodology, and [`optimizer`]
+//! derives the paper's hand-picked join orders from that cost model.
+
+pub mod data;
+pub mod engines;
+pub mod model;
+pub mod optimizer;
+pub mod plan;
+pub mod queries;
+pub mod result;
+
+pub use data::SsbData;
+pub use plan::StarQuery;
+pub use queries::{all_queries, query, QueryId};
+pub use result::QueryResult;

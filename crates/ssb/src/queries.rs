@@ -1,0 +1,417 @@
+//! The 13 SSB queries as [`StarQuery`] plans.
+//!
+//! Literal rewriting follows the paper (Section 5.2): string literals are
+//! dictionary codes (`s_region = 'ASIA'` becomes `s_region = code`), and
+//! the q1.x date-flight filters are rewritten into direct `lo_orderdate`
+//! ranges exactly as in Figure 2.
+//!
+//! Join orders are fixed per query (the paper chooses plans by hand;
+//! Section 5.3 notes q2.1 joins supplier, then part, then date because that
+//! "delivers the highest performance among the several promising plans").
+
+use crate::data::SsbData;
+use crate::plan::{AggExpr, DimAttr, DimJoin, DimPred, DimTable, FactCol, FactPred, StarQuery};
+
+/// Identifier of a benchmark query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryId {
+    pub flight: u8,
+    pub number: u8,
+}
+
+impl QueryId {
+    pub fn new(flight: u8, number: u8) -> Self {
+        QueryId { flight, number }
+    }
+}
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}.{}", self.flight, self.number)
+    }
+}
+
+/// All 13 queries in benchmark order.
+pub fn all_query_ids() -> Vec<QueryId> {
+    vec![
+        QueryId::new(1, 1),
+        QueryId::new(1, 2),
+        QueryId::new(1, 3),
+        QueryId::new(2, 1),
+        QueryId::new(2, 2),
+        QueryId::new(2, 3),
+        QueryId::new(3, 1),
+        QueryId::new(3, 2),
+        QueryId::new(3, 3),
+        QueryId::new(3, 4),
+        QueryId::new(4, 1),
+        QueryId::new(4, 2),
+        QueryId::new(4, 3),
+    ]
+}
+
+/// Plans for all 13 queries against a generated database (literals are
+/// resolved through its dictionaries).
+pub fn all_queries(d: &SsbData) -> Vec<StarQuery> {
+    all_query_ids().into_iter().map(|id| query(d, id)).collect()
+}
+
+fn code(d: &SsbData, dict: &str, value: &str) -> i32 {
+    let dd = &d.dicts;
+    let found = match dict {
+        "region" => dd.region.code(value),
+        "nation" => dd.nation.code(value),
+        "city" => dd.city.code(value),
+        "mfgr" => dd.mfgr.code(value),
+        "category" => dd.category.code(value),
+        "brand" => dd.brand.code(value),
+        _ => panic!("unknown dictionary {dict}"),
+    };
+    found.unwrap_or_else(|| panic!("literal {value} missing from {dict} dictionary"))
+}
+
+/// Builds the plan of one query.
+pub fn query(d: &SsbData, id: QueryId) -> StarQuery {
+    match (id.flight, id.number) {
+        // --- Flight 1: fact-only selections (Figure 2 rewrite) ---
+        (1, 1) => StarQuery {
+            name: "q1.1",
+            fact_preds: vec![
+                FactPred::between(FactCol::OrderDate, 19930101, 19931231),
+                FactPred::between(FactCol::Discount, 1, 3),
+                FactPred::between(FactCol::Quantity, 1, 24),
+            ],
+            joins: vec![],
+            agg: AggExpr::SumDiscountedPrice,
+        },
+        (1, 2) => StarQuery {
+            name: "q1.2",
+            fact_preds: vec![
+                FactPred::between(FactCol::OrderDate, 19940101, 19940131),
+                FactPred::between(FactCol::Discount, 4, 6),
+                FactPred::between(FactCol::Quantity, 26, 35),
+            ],
+            joins: vec![],
+            agg: AggExpr::SumDiscountedPrice,
+        },
+        (1, 3) => StarQuery {
+            name: "q1.3",
+            // Week 6 of 1994 in the date dimension's week numbering.
+            fact_preds: vec![
+                FactPred::between(FactCol::OrderDate, 19940205, 19940211),
+                FactPred::between(FactCol::Discount, 5, 7),
+                FactPred::between(FactCol::Quantity, 26, 35),
+            ],
+            joins: vec![],
+            agg: AggExpr::SumDiscountedPrice,
+        },
+        // --- Flight 2: part x supplier x date ---
+        (2, n @ 1..=3) => {
+            let (part_filter, region) = match n {
+                1 => (
+                    DimPred::Eq(DimAttr::Category, code(d, "category", "MFGR#12")),
+                    "AMERICA",
+                ),
+                2 => (
+                    DimPred::Between(
+                        DimAttr::Brand1,
+                        code(d, "brand", "MFGR#2221"),
+                        code(d, "brand", "MFGR#2228"),
+                    ),
+                    "ASIA",
+                ),
+                _ => (
+                    DimPred::Eq(DimAttr::Brand1, code(d, "brand", "MFGR#2221")),
+                    "EUROPE",
+                ),
+            };
+            StarQuery {
+                name: match n {
+                    1 => "q2.1",
+                    2 => "q2.2",
+                    _ => "q2.3",
+                },
+                fact_preds: vec![],
+                joins: vec![
+                    DimJoin {
+                        table: DimTable::Supplier,
+                        fact_fk: FactCol::SuppKey,
+                        filter: Some(DimPred::Eq(DimAttr::Region, code(d, "region", region))),
+                        group_attr: None,
+                    },
+                    DimJoin {
+                        table: DimTable::Part,
+                        fact_fk: FactCol::PartKey,
+                        filter: Some(part_filter),
+                        group_attr: Some(DimAttr::Brand1),
+                    },
+                    DimJoin {
+                        table: DimTable::Date,
+                        fact_fk: FactCol::OrderDate,
+                        filter: None,
+                        group_attr: Some(DimAttr::Year),
+                    },
+                ],
+                agg: AggExpr::SumRevenue,
+            }
+        }
+        // --- Flight 3: customer x supplier x date ---
+        (3, 1) => StarQuery {
+            name: "q3.1",
+            fact_preds: vec![],
+            joins: vec![
+                DimJoin {
+                    table: DimTable::Customer,
+                    fact_fk: FactCol::CustKey,
+                    filter: Some(DimPred::Eq(DimAttr::Region, code(d, "region", "ASIA"))),
+                    group_attr: Some(DimAttr::Nation),
+                },
+                DimJoin {
+                    table: DimTable::Supplier,
+                    fact_fk: FactCol::SuppKey,
+                    filter: Some(DimPred::Eq(DimAttr::Region, code(d, "region", "ASIA"))),
+                    group_attr: Some(DimAttr::Nation),
+                },
+                DimJoin {
+                    table: DimTable::Date,
+                    fact_fk: FactCol::OrderDate,
+                    filter: Some(DimPred::Between(DimAttr::Year, 1992, 1997)),
+                    group_attr: Some(DimAttr::Year),
+                },
+            ],
+            agg: AggExpr::SumRevenue,
+        },
+        (3, 2) => StarQuery {
+            name: "q3.2",
+            fact_preds: vec![],
+            joins: vec![
+                DimJoin {
+                    table: DimTable::Customer,
+                    fact_fk: FactCol::CustKey,
+                    filter: Some(DimPred::Eq(
+                        DimAttr::Nation,
+                        code(d, "nation", "UNITED STATES"),
+                    )),
+                    group_attr: Some(DimAttr::City),
+                },
+                DimJoin {
+                    table: DimTable::Supplier,
+                    fact_fk: FactCol::SuppKey,
+                    filter: Some(DimPred::Eq(
+                        DimAttr::Nation,
+                        code(d, "nation", "UNITED STATES"),
+                    )),
+                    group_attr: Some(DimAttr::City),
+                },
+                DimJoin {
+                    table: DimTable::Date,
+                    fact_fk: FactCol::OrderDate,
+                    filter: Some(DimPred::Between(DimAttr::Year, 1992, 1997)),
+                    group_attr: Some(DimAttr::Year),
+                },
+            ],
+            agg: AggExpr::SumRevenue,
+        },
+        (3, n @ 3..=4) => {
+            let cities = vec![code(d, "city", "UNITED KI1"), code(d, "city", "UNITED KI5")];
+            let date_filter = if n == 3 {
+                DimPred::Between(DimAttr::Year, 1992, 1997)
+            } else {
+                // d_yearmonth = 'Dec1997'.
+                DimPred::Eq(DimAttr::YearMonthNum, 199712)
+            };
+            StarQuery {
+                name: if n == 3 { "q3.3" } else { "q3.4" },
+                fact_preds: vec![],
+                joins: vec![
+                    DimJoin {
+                        table: DimTable::Customer,
+                        fact_fk: FactCol::CustKey,
+                        filter: Some(DimPred::In(DimAttr::City, cities.clone())),
+                        group_attr: Some(DimAttr::City),
+                    },
+                    DimJoin {
+                        table: DimTable::Supplier,
+                        fact_fk: FactCol::SuppKey,
+                        filter: Some(DimPred::In(DimAttr::City, cities)),
+                        group_attr: Some(DimAttr::City),
+                    },
+                    DimJoin {
+                        table: DimTable::Date,
+                        fact_fk: FactCol::OrderDate,
+                        filter: Some(date_filter),
+                        group_attr: Some(DimAttr::Year),
+                    },
+                ],
+                agg: AggExpr::SumRevenue,
+            }
+        }
+        // --- Flight 4: customer x supplier x part x date ---
+        (4, 1) => StarQuery {
+            name: "q4.1",
+            fact_preds: vec![],
+            joins: vec![
+                DimJoin {
+                    table: DimTable::Customer,
+                    fact_fk: FactCol::CustKey,
+                    filter: Some(DimPred::Eq(DimAttr::Region, code(d, "region", "AMERICA"))),
+                    group_attr: Some(DimAttr::Nation),
+                },
+                DimJoin {
+                    table: DimTable::Supplier,
+                    fact_fk: FactCol::SuppKey,
+                    filter: Some(DimPred::Eq(DimAttr::Region, code(d, "region", "AMERICA"))),
+                    group_attr: None,
+                },
+                DimJoin {
+                    table: DimTable::Part,
+                    fact_fk: FactCol::PartKey,
+                    filter: Some(DimPred::In(
+                        DimAttr::Mfgr,
+                        vec![code(d, "mfgr", "MFGR#1"), code(d, "mfgr", "MFGR#2")],
+                    )),
+                    group_attr: None,
+                },
+                DimJoin {
+                    table: DimTable::Date,
+                    fact_fk: FactCol::OrderDate,
+                    filter: None,
+                    group_attr: Some(DimAttr::Year),
+                },
+            ],
+            agg: AggExpr::SumProfit,
+        },
+        (4, 2) => StarQuery {
+            name: "q4.2",
+            fact_preds: vec![],
+            joins: vec![
+                DimJoin {
+                    table: DimTable::Customer,
+                    fact_fk: FactCol::CustKey,
+                    filter: Some(DimPred::Eq(DimAttr::Region, code(d, "region", "AMERICA"))),
+                    group_attr: None,
+                },
+                DimJoin {
+                    table: DimTable::Supplier,
+                    fact_fk: FactCol::SuppKey,
+                    filter: Some(DimPred::Eq(DimAttr::Region, code(d, "region", "AMERICA"))),
+                    group_attr: Some(DimAttr::Nation),
+                },
+                DimJoin {
+                    table: DimTable::Part,
+                    fact_fk: FactCol::PartKey,
+                    filter: Some(DimPred::In(
+                        DimAttr::Mfgr,
+                        vec![code(d, "mfgr", "MFGR#1"), code(d, "mfgr", "MFGR#2")],
+                    )),
+                    group_attr: Some(DimAttr::Category),
+                },
+                DimJoin {
+                    table: DimTable::Date,
+                    fact_fk: FactCol::OrderDate,
+                    filter: Some(DimPred::Between(DimAttr::Year, 1997, 1998)),
+                    group_attr: Some(DimAttr::Year),
+                },
+            ],
+            agg: AggExpr::SumProfit,
+        },
+        (4, 3) => StarQuery {
+            name: "q4.3",
+            fact_preds: vec![],
+            joins: vec![
+                DimJoin {
+                    table: DimTable::Customer,
+                    fact_fk: FactCol::CustKey,
+                    filter: Some(DimPred::Eq(DimAttr::Region, code(d, "region", "AMERICA"))),
+                    group_attr: None,
+                },
+                DimJoin {
+                    table: DimTable::Supplier,
+                    fact_fk: FactCol::SuppKey,
+                    filter: Some(DimPred::Eq(
+                        DimAttr::Nation,
+                        code(d, "nation", "UNITED STATES"),
+                    )),
+                    group_attr: Some(DimAttr::City),
+                },
+                DimJoin {
+                    table: DimTable::Part,
+                    fact_fk: FactCol::PartKey,
+                    filter: Some(DimPred::Eq(
+                        DimAttr::Category,
+                        code(d, "category", "MFGR#14"),
+                    )),
+                    group_attr: Some(DimAttr::Brand1),
+                },
+                DimJoin {
+                    table: DimTable::Date,
+                    fact_fk: FactCol::OrderDate,
+                    filter: Some(DimPred::Between(DimAttr::Year, 1997, 1998)),
+                    group_attr: Some(DimAttr::Year),
+                },
+            ],
+            agg: AggExpr::SumProfit,
+        },
+        _ => panic!("unknown SSB query {id}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SsbData {
+        SsbData::generate_scaled(1, 0.0005, 1)
+    }
+
+    #[test]
+    fn all_13_queries_build() {
+        let d = tiny();
+        let qs = all_queries(&d);
+        assert_eq!(qs.len(), 13);
+        assert_eq!(qs[0].name, "q1.1");
+        assert_eq!(qs[12].name, "q4.3");
+    }
+
+    #[test]
+    fn q11_is_join_free() {
+        let d = tiny();
+        let q = query(&d, QueryId::new(1, 1));
+        assert!(q.joins.is_empty());
+        assert_eq!(q.fact_preds.len(), 3);
+        assert_eq!(q.group_domain(), 1);
+    }
+
+    #[test]
+    fn q21_join_order_matches_paper() {
+        let d = tiny();
+        let q = query(&d, QueryId::new(2, 1));
+        let tables: Vec<DimTable> = q.joins.iter().map(|j| j.table).collect();
+        assert_eq!(tables, vec![DimTable::Supplier, DimTable::Part, DimTable::Date]);
+        assert_eq!(q.group_domain(), 1000 * 7);
+    }
+
+    #[test]
+    fn q43_groups_by_year_city_brand() {
+        let d = tiny();
+        let q = query(&d, QueryId::new(4, 3));
+        let attrs = q.group_attrs();
+        assert_eq!(attrs, vec![DimAttr::City, DimAttr::Brand1, DimAttr::Year]);
+    }
+
+    #[test]
+    fn fact_columns_are_deduplicated_and_ordered() {
+        let d = tiny();
+        let q = query(&d, QueryId::new(1, 1));
+        let cols = q.fact_columns();
+        assert_eq!(
+            cols,
+            vec![
+                FactCol::OrderDate,
+                FactCol::Discount,
+                FactCol::Quantity,
+                FactCol::ExtendedPrice
+            ]
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for the SSB generator, plans and engines.
+
+use proptest::prelude::*;
+
+use crystal_ssb::engines::{cpu, hyper, reference};
+use crystal_ssb::queries::{all_queries, query, QueryId};
+use crystal_ssb::SsbData;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Generator invariants hold for arbitrary seeds: FKs reference valid
+    /// dimension rows, value domains match the SSB spec, hierarchies are
+    /// consistent.
+    #[test]
+    fn generator_invariants(seed in any::<u64>()) {
+        let d = SsbData::generate_scaled(1, 0.001, seed);
+        let lo = &d.lineorder;
+        let days: std::collections::HashSet<i32> = d.date.datekey.iter().copied().collect();
+        for i in 0..lo.rows() {
+            prop_assert!(days.contains(&lo.orderdate[i]));
+            prop_assert!((0..d.customer.custkey.len() as i32).contains(&lo.custkey[i]));
+            prop_assert!((0..d.part.partkey.len() as i32).contains(&lo.partkey[i]));
+            prop_assert!((0..d.supplier.suppkey.len() as i32).contains(&lo.suppkey[i]));
+            prop_assert!((1..=50).contains(&lo.quantity[i]));
+            prop_assert!((0..=10).contains(&lo.discount[i]));
+            prop_assert_eq!(lo.revenue[i], lo.extendedprice[i] / 100 * (100 - lo.discount[i]));
+        }
+        for row in 0..d.part.partkey.len() {
+            prop_assert_eq!(d.part.category[row], d.part.brand1[row] / 40);
+            prop_assert_eq!(d.part.mfgr[row], d.part.category[row] / 5);
+        }
+    }
+
+    /// Engine equivalence holds for arbitrary dataset seeds, not just the
+    /// fixed test seed.
+    #[test]
+    fn engines_agree_for_any_seed(seed in any::<u64>(), flight in 1u8..5) {
+        let d = SsbData::generate_scaled(1, 0.002, seed);
+        let q = query(&d, QueryId::new(flight, 1));
+        let expected = reference::execute(&d, &q);
+        let (got_cpu, _) = cpu::execute(&d, &q, 3);
+        prop_assert_eq!(&got_cpu, &expected);
+        let got_hyper = hyper::execute(&d, &q, 3);
+        prop_assert_eq!(&got_hyper, &expected);
+    }
+
+    /// Query traces are internally consistent for every query on arbitrary
+    /// data: stage probes match the previous stage's hits, selectivities
+    /// are monotone non-increasing.
+    #[test]
+    fn traces_are_consistent(seed in any::<u64>()) {
+        let d = SsbData::generate_scaled(1, 0.002, seed);
+        for q in all_queries(&d) {
+            let (_, trace) = cpu::execute(&d, &q, 2);
+            prop_assert_eq!(trace.fact_rows, d.lineorder.rows());
+            prop_assert!(trace.pred_survivors <= trace.fact_rows);
+            let mut prev = trace.pred_survivors;
+            for s in &trace.stages {
+                prop_assert_eq!(s.probes, prev, "{}", q.name);
+                prop_assert!(s.hits <= s.probes);
+                prop_assert!((0.0..=1.0).contains(&s.dim_insert_frac));
+                prev = s.hits;
+            }
+            prop_assert_eq!(trace.result_rows, prev);
+            for i in 0..=trace.stages.len() {
+                let f = trace.selectivity_before_stage(i.min(trace.stages.len()));
+                prop_assert!((0.0..=1.0).contains(&f));
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Bit-packed integer columns — the compression scheme of the paper's
+//! Section 5.5 future work.
+//!
+//! "Data compression could be used to fit more data into GPU's memory.
+//! GPUs have higher compute to bandwidth ratio than CPUs which could allow
+//! use of non-byte addressable packing schemes."
+//!
+//! Values are packed at a fixed bit width into a little-endian `u64`
+//! bitstream. Non-negative values only (SSB's dictionary codes, keys and
+//! measures all qualify after encoding).
+
+/// Error returned when a value does not fit the requested width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackError {
+    pub index: usize,
+    pub value: i32,
+    pub bits: u32,
+}
+
+impl std::fmt::Display for PackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "value {} at row {} does not fit in {} bits",
+            self.value, self.index, self.bits
+        )
+    }
+}
+
+impl std::error::Error for PackError {}
+
+/// A fixed-width bit-packed column of non-negative integers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedColumn {
+    bits: u32,
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl PackedColumn {
+    /// Smallest width able to hold every value of `values`.
+    pub fn min_bits(values: &[i32]) -> u32 {
+        let max = values.iter().copied().max().unwrap_or(0).max(0) as u32;
+        (32 - max.leading_zeros()).max(1)
+    }
+
+    /// Packs `values` at `bits` per value (1..=32).
+    pub fn pack(values: &[i32], bits: u32) -> Result<Self, PackError> {
+        assert!((1..=32).contains(&bits));
+        let mask = if bits == 32 { u32::MAX as u64 } else { (1u64 << bits) - 1 };
+        let total_bits = values.len() * bits as usize;
+        let mut words = vec![0u64; total_bits.div_ceil(64)];
+        for (i, &v) in values.iter().enumerate() {
+            if v < 0 || (v as u64) & !mask != 0 {
+                return Err(PackError { index: i, value: v, bits });
+            }
+            let bit = i * bits as usize;
+            let (word, off) = (bit / 64, (bit % 64) as u32);
+            words[word] |= (v as u64) << off;
+            if off + bits > 64 {
+                words[word + 1] |= (v as u64) >> (64 - off);
+            }
+        }
+        Ok(PackedColumn {
+            bits,
+            len: values.len(),
+            words,
+        })
+    }
+
+    /// Reassembles a column from its stored parts (see `crate::io`).
+    pub fn from_raw(bits: u32, len: usize, words: Vec<u64>) -> Self {
+        assert!((1..=32).contains(&bits));
+        assert!(words.len() * 64 >= len * bits as usize, "word stream too short");
+        PackedColumn { bits, len, words }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Width per value, bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Packed footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// The underlying words (for device upload).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Compression ratio versus 4-byte storage.
+    pub fn compression_ratio(&self) -> f64 {
+        (self.len * 4) as f64 / self.size_bytes().max(1) as f64
+    }
+
+    /// Random access to one value.
+    #[inline]
+    pub fn get(&self, i: usize) -> i32 {
+        debug_assert!(i < self.len);
+        unpack_at(&self.words, self.bits, i)
+    }
+
+    /// Unpacks the whole column.
+    pub fn unpack(&self) -> Vec<i32> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
+/// Extracts value `i` from a packed word stream (shared by the device
+/// kernels, which operate on raw words).
+#[inline]
+pub fn unpack_at(words: &[u64], bits: u32, i: usize) -> i32 {
+    let mask = if bits == 32 { u32::MAX as u64 } else { (1u64 << bits) - 1 };
+    let bit = i * bits as usize;
+    let (word, off) = (bit / 64, (bit % 64) as u32);
+    let mut v = words[word] >> off;
+    if off + bits > 64 {
+        v |= words[word + 1] << (64 - off);
+    }
+    (v & mask) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        let values: Vec<i32> = (0..1000).map(|i| (i * 7919) % 4096).collect();
+        for bits in [12u32, 13, 17, 32] {
+            let p = PackedColumn::pack(&values, bits).unwrap();
+            assert_eq!(p.unpack(), values, "bits={bits}");
+            assert_eq!(p.len(), 1000);
+        }
+    }
+
+    #[test]
+    fn straddles_word_boundaries() {
+        // 13-bit values hit every possible word offset.
+        let values: Vec<i32> = (0..500).map(|i| i % 8192).collect();
+        let p = PackedColumn::pack(&values, 13).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(p.get(i), v, "row {i}");
+        }
+    }
+
+    #[test]
+    fn min_bits_is_tight() {
+        assert_eq!(PackedColumn::min_bits(&[0]), 1);
+        assert_eq!(PackedColumn::min_bits(&[1]), 1);
+        assert_eq!(PackedColumn::min_bits(&[2]), 2);
+        assert_eq!(PackedColumn::min_bits(&[255]), 8);
+        assert_eq!(PackedColumn::min_bits(&[256]), 9);
+        assert_eq!(PackedColumn::min_bits(&[i32::MAX]), 31);
+    }
+
+    #[test]
+    fn rejects_out_of_range_values() {
+        let err = PackedColumn::pack(&[3, 99], 5).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(PackedColumn::pack(&[-1], 8).is_err());
+    }
+
+    #[test]
+    fn footprint_and_ratio() {
+        let values = vec![1i32; 1600];
+        let p = PackedColumn::pack(&values, 8).unwrap();
+        assert_eq!(p.size_bytes(), 1600);
+        assert!((p.compression_ratio() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_column() {
+        let p = PackedColumn::pack(&[], 8).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.unpack(), Vec::<i32>::new());
+    }
+}

@@ -1,0 +1,94 @@
+//! Typed columns.
+//!
+//! The paper stores every column as an array of 4-byte values ("in our
+//! benchmark we make sure all column entries are 4-byte values", Section
+//! 5.2); [`Column`] follows suit with `i32` as the canonical storage type
+//! plus an `f32` variant for the projection microbenchmarks.
+
+/// A named, typed column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    Int(Vec<i32>),
+    Float(Vec<f32>),
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of storage (all variants are 4-byte-per-entry).
+    pub fn size_bytes(&self) -> usize {
+        self.len() * 4
+    }
+
+    /// The integer data, panicking if this is a float column.
+    pub fn as_i32(&self) -> &[i32] {
+        match self {
+            Column::Int(v) => v,
+            Column::Float(_) => panic!("column is f32, expected i32"),
+        }
+    }
+
+    /// The float data, panicking if this is an int column.
+    pub fn as_f32(&self) -> &[f32] {
+        match self {
+            Column::Float(v) => v,
+            Column::Int(_) => panic!("column is i32, expected f32"),
+        }
+    }
+
+    /// Integer value at `row` (panics for float columns).
+    #[inline]
+    pub fn i32_at(&self, row: usize) -> i32 {
+        self.as_i32()[row]
+    }
+}
+
+impl From<Vec<i32>> for Column {
+    fn from(v: Vec<i32>) -> Self {
+        Column::Int(v)
+    }
+}
+
+impl From<Vec<f32>> for Column {
+    fn from(v: Vec<f32>) -> Self {
+        Column::Float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_column_accessors() {
+        let c: Column = vec![1, 2, 3].into();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.size_bytes(), 12);
+        assert_eq!(c.as_i32(), &[1, 2, 3]);
+        assert_eq!(c.i32_at(1), 2);
+    }
+
+    #[test]
+    fn float_column_accessors() {
+        let c: Column = vec![1.5f32, 2.5].into();
+        assert_eq!(c.as_f32(), &[1.5, 2.5]);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected i32")]
+    fn type_mismatch_panics() {
+        let c: Column = vec![1.0f32].into();
+        c.as_i32();
+    }
+}

@@ -1,0 +1,212 @@
+//! Columnar persistence: a minimal little-endian binary format for saving
+//! and reloading generated datasets, so benchmark runs don't pay
+//! regeneration (SSB SF 20's dimensions take noticeable time to build).
+//!
+//! Format: magic `CRYS`, version u32, column count u32, then per column a
+//! tagged payload (`0` = i32 column, `1` = f32 column, `2` = packed column
+//! with bit width) with a u64 length prefix. All integers little-endian.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::bitpack::PackedColumn;
+use crate::column::Column;
+
+const MAGIC: &[u8; 4] = b"CRYS";
+const VERSION: u32 = 1;
+
+/// A named saved column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoredColumn {
+    Int(Vec<i32>),
+    Float(Vec<f32>),
+    Packed(PackedColumn),
+}
+
+impl From<Column> for StoredColumn {
+    fn from(c: Column) -> Self {
+        match c {
+            Column::Int(v) => StoredColumn::Int(v),
+            Column::Float(v) => StoredColumn::Float(v),
+        }
+    }
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Saves columns to `path`.
+pub fn save_columns(path: &Path, cols: &[StoredColumn]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_u32(&mut w, cols.len() as u32)?;
+    for col in cols {
+        match col {
+            StoredColumn::Int(v) => {
+                write_u32(&mut w, 0)?;
+                write_u64(&mut w, v.len() as u64)?;
+                for &x in v {
+                    w.write_all(&x.to_le_bytes())?;
+                }
+            }
+            StoredColumn::Float(v) => {
+                write_u32(&mut w, 1)?;
+                write_u64(&mut w, v.len() as u64)?;
+                for &x in v {
+                    w.write_all(&x.to_le_bytes())?;
+                }
+            }
+            StoredColumn::Packed(p) => {
+                write_u32(&mut w, 2)?;
+                write_u32(&mut w, p.bits())?;
+                write_u64(&mut w, p.len() as u64)?;
+                write_u64(&mut w, p.words().len() as u64)?;
+                for &word in p.words() {
+                    w.write_all(&word.to_le_bytes())?;
+                }
+            }
+        }
+    }
+    w.flush()
+}
+
+/// Loads columns from `path`.
+pub fn load_columns(path: &Path) -> io::Result<Vec<StoredColumn>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported version {version}"),
+        ));
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut cols = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tag = read_u32(&mut r)?;
+        match tag {
+            0 => {
+                let len = read_u64(&mut r)? as usize;
+                let mut v = Vec::with_capacity(len);
+                let mut b = [0u8; 4];
+                for _ in 0..len {
+                    r.read_exact(&mut b)?;
+                    v.push(i32::from_le_bytes(b));
+                }
+                cols.push(StoredColumn::Int(v));
+            }
+            1 => {
+                let len = read_u64(&mut r)? as usize;
+                let mut v = Vec::with_capacity(len);
+                let mut b = [0u8; 4];
+                for _ in 0..len {
+                    r.read_exact(&mut b)?;
+                    v.push(f32::from_le_bytes(b));
+                }
+                cols.push(StoredColumn::Float(v));
+            }
+            2 => {
+                let bits = read_u32(&mut r)?;
+                let len = read_u64(&mut r)? as usize;
+                let words_len = read_u64(&mut r)? as usize;
+                let mut words = Vec::with_capacity(words_len);
+                let mut b = [0u8; 8];
+                for _ in 0..words_len {
+                    r.read_exact(&mut b)?;
+                    words.push(u64::from_le_bytes(b));
+                }
+                cols.push(StoredColumn::Packed(PackedColumn::from_raw(
+                    bits, len, words,
+                )));
+            }
+            t => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown column tag {t}"),
+                ))
+            }
+        }
+    }
+    Ok(cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("crystal_io_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_mixed_columns() {
+        let path = tmp("mixed");
+        let cols = vec![
+            StoredColumn::Int(vec![1, -2, 3]),
+            StoredColumn::Float(vec![0.5, -1.25]),
+            StoredColumn::Packed(PackedColumn::pack(&[1, 2, 3, 4095], 12).unwrap()),
+            StoredColumn::Int(Vec::new()),
+        ];
+        save_columns(&path, &cols).unwrap();
+        let loaded = load_columns(&path).unwrap();
+        assert_eq!(loaded, cols);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOPE....").unwrap();
+        let err = load_columns(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let path = tmp("trunc");
+        let cols = vec![StoredColumn::Int(vec![1, 2, 3, 4, 5])];
+        save_columns(&path, &cols).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(load_columns(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn packed_roundtrip_preserves_values() {
+        let path = tmp("packed");
+        let values: Vec<i32> = (0..5000).map(|i| i % 8192).collect();
+        let packed = PackedColumn::pack(&values, 13).unwrap();
+        save_columns(&path, &[StoredColumn::Packed(packed)]).unwrap();
+        match &load_columns(&path).unwrap()[0] {
+            StoredColumn::Packed(p) => assert_eq!(p.unpack(), values),
+            _ => panic!("expected packed column"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,20 @@
+//! # crystal-storage — columnar storage substrate
+//!
+//! The thin storage layer the engines share: typed columns, tables with
+//! schemas, dictionary encoding for strings (the paper dictionary-encodes
+//! all SSB string columns to 4-byte integers before loading, Section 5.2),
+//! and deterministic workload generators for the microbenchmarks
+//! (uniform columns with calibrated selectivities, unique key domains,
+//! Zipf-skewed values).
+
+pub mod bitpack;
+pub mod column;
+pub mod dict;
+pub mod gen;
+pub mod io;
+pub mod table;
+
+pub use bitpack::PackedColumn;
+pub use column::Column;
+pub use dict::Dictionary;
+pub use table::{Schema, Table};

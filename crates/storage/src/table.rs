@@ -1,0 +1,142 @@
+//! Tables: named collections of equal-length columns.
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+
+/// Column names in declaration order.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl Schema {
+    pub fn new(names: &[&str]) -> Self {
+        let names: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+        let index = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        Schema { names, index }
+    }
+
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A columnar table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Builds a table, checking that all columns have equal length.
+    pub fn new(name: &str, cols: Vec<(&str, Column)>) -> Self {
+        let rows = cols.first().map(|(_, c)| c.len()).unwrap_or(0);
+        for (n, c) in &cols {
+            assert_eq!(c.len(), rows, "column {n} length mismatch");
+        }
+        let schema = Schema::new(&cols.iter().map(|(n, _)| *n).collect::<Vec<_>>());
+        let columns = cols.into_iter().map(|(_, c)| c).collect();
+        Table {
+            name: name.to_string(),
+            schema,
+            columns,
+            rows,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column by name.
+    ///
+    /// # Panics
+    /// Panics if the column does not exist (schema errors are programming
+    /// errors in this workspace's fixed benchmark schemas).
+    pub fn column(&self, name: &str) -> &Column {
+        let pos = self
+            .schema
+            .position(name)
+            .unwrap_or_else(|| panic!("table {} has no column {name}", self.name));
+        &self.columns[pos]
+    }
+
+    /// Convenience: integer column data by name.
+    pub fn i32(&self, name: &str) -> &[i32] {
+        self.column(name).as_i32()
+    }
+
+    /// Total bytes across columns.
+    pub fn size_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.size_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        Table::new(
+            "t",
+            vec![
+                ("a", vec![1, 2, 3].into()),
+                ("b", vec![10, 20, 30].into()),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let t = t();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.i32("b"), &[10, 20, 30]);
+        assert_eq!(t.schema().position("a"), Some(0));
+        assert_eq!(t.size_bytes(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn missing_column_panics() {
+        t().column("zzz");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ragged_columns_rejected() {
+        Table::new(
+            "bad",
+            vec![("a", vec![1].into()), ("b", vec![1, 2].into())],
+        );
+    }
+}

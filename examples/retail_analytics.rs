@@ -1,0 +1,89 @@
+//! Retail analytics: the paper's motivating scenario (Section 1) — weeks
+//! of a large retailer's sales history held entirely in GPU memory,
+//! queried interactively.
+//!
+//! Generates a Star Schema Benchmark database (sales facts with product /
+//! supplier / customer / date dimensions), then answers three business
+//! questions on both the standalone CPU engine and the Crystal GPU engine,
+//! verifying they agree and comparing modeled costs.
+//!
+//! ```sh
+//! cargo run --release --example retail_analytics
+//! ```
+
+use crystal::gpu_sim::Gpu;
+use crystal::hardware::nvidia_v100;
+use crystal::ssb::engines::{cpu as cpu_engine, gpu as gpu_engine};
+use crystal::ssb::queries::{query, QueryId};
+use crystal::ssb::{QueryResult, SsbData};
+
+fn main() {
+    // SF-1 dimensions with a 600k-row sales sample (fast to demo; crank
+    // `fact_scale` up for bigger runs).
+    let data = SsbData::generate_scaled(1, 0.1, 2024);
+    println!(
+        "sales database: {} sales, {} products, {} suppliers, {} customers ({:.1} MB)",
+        data.lineorder.rows(),
+        data.part.partkey.len(),
+        data.supplier.suppkey.len(),
+        data.customer.custkey.len(),
+        data.size_bytes() as f64 / 1e6
+    );
+
+    let mut gpu = Gpu::new(nvidia_v100());
+    let threads = crystal::cpu::exec::default_threads();
+
+    let questions = [
+        (
+            QueryId::new(1, 1),
+            "How much revenue did quantity-capped discount promotions yield in 1993?",
+        ),
+        (
+            QueryId::new(2, 1),
+            "Revenue per product brand and year for category MFGR#12 sourced from AMERICA?",
+        ),
+        (
+            QueryId::new(4, 1),
+            "Profit by year and customer nation for AMERICA-to-AMERICA trade in MFGR#1/2?",
+        ),
+    ];
+
+    for (id, question) in questions {
+        let q = query(&data, id);
+        println!("\n{id}: {question}");
+        for line in q.to_sql().lines() {
+            println!("    | {line}");
+        }
+
+        let (cpu_result, trace) = cpu_engine::execute(&data, &q, threads);
+        gpu.reset_l2();
+        let gpu_run = gpu_engine::execute(&mut gpu, &data, &q);
+        assert_eq!(cpu_result, gpu_run.result, "engines must agree");
+
+        match &cpu_result {
+            QueryResult::Scalar(v) => println!("  answer: revenue = {v}"),
+            QueryResult::Groups(g) => {
+                println!("  answer: {} groups; top rows:", g.len());
+                let mut rows = g.clone();
+                rows.sort_by_key(|(_, s)| std::cmp::Reverse(*s));
+                for (key, sum) in rows.iter().take(3) {
+                    println!("    group {key:?} -> {sum}");
+                }
+            }
+        }
+        println!(
+            "  pipeline: {} rows -> {} after predicates -> {} after joins ({} groups)",
+            trace.fact_rows, trace.pred_survivors, trace.result_rows, trace.groups
+        );
+        println!(
+            "  simulated V100 time: {:.3} ms across {} kernels",
+            gpu_run.sim_secs() * 1e3,
+            gpu_run.reports.len()
+        );
+    }
+
+    println!(
+        "\n(the paper's result: at SF 20 this workload runs ~25x faster on a \
+         V100 than on an 8-core Skylake, at ~4x better cost effectiveness)"
+    );
+}

@@ -1,0 +1,138 @@
+//! Model-vs-simulator validation: the paper's central claim is that its
+//! bandwidth-saturation models predict GPU runtimes accurately. These
+//! tests hold the workspace to the same standard — the analytic models of
+//! `crystal-models` and the trace-driven simulator must agree on every
+//! operator, and the headline ratios must stay in the paper's bands.
+
+use crystal::core::hash::{slots_for_fill_rate, DeviceHashTable, HashScheme};
+use crystal::core::kernels;
+use crystal::gpu_sim::exec::LaunchConfig;
+use crystal::gpu_sim::Gpu;
+use crystal::hardware::{bandwidth_ratio, intel_i7_6900, nvidia_v100, MIB};
+use crystal::models;
+use crystal::storage::gen;
+
+const N: usize = 1 << 20;
+
+/// Simulated bottleneck seconds, scaled from run size to paper size.
+fn scaled(r: &crystal::gpu_sim::KernelReport, from: usize, to: usize) -> f64 {
+    r.time.bottleneck_secs() * to as f64 / from as f64
+}
+
+#[test]
+fn select_simulation_tracks_model_within_15_percent() {
+    let gspec = nvidia_v100();
+    let mut gpu = Gpu::new(gspec.clone());
+    let domain = 1 << 20;
+    let data = gen::uniform_i32_domain(N, domain, 1);
+    let col = gpu.alloc_from(&data);
+    for sigma in [0.1, 0.5, 0.9] {
+        let v = gen::threshold_for_selectivity(domain, sigma);
+        let (out, r) =
+            kernels::select_where(&mut gpu, &col, LaunchConfig::default_for_items(N), move |y| y < v);
+        gpu.free(out);
+        let sim = scaled(&r, N, 1 << 28);
+        let model = models::select::select_secs(1 << 28, sigma, gspec.read_bw, gspec.write_bw);
+        let err = (sim - model).abs() / model;
+        assert!(err < 0.15, "sigma {sigma}: sim {sim} vs model {model} ({err:.2})");
+    }
+}
+
+#[test]
+fn project_simulation_tracks_model_within_15_percent() {
+    let gspec = nvidia_v100();
+    let mut gpu = Gpu::new(gspec.clone());
+    let x1 = gpu.alloc_from(&gen::uniform_f32(N, 2));
+    let x2 = gpu.alloc_from(&gen::uniform_f32(N, 3));
+    let (out, r) = kernels::project_linear(&mut gpu, &x1, &x2, 1.0, 1.0);
+    gpu.free(out);
+    let sim = scaled(&r, N, 1 << 28);
+    let model = models::project::project_secs(1 << 28, gspec.read_bw, gspec.write_bw);
+    let err = (sim - model).abs() / model;
+    assert!(err < 0.15, "sim {sim} vs model {model}");
+}
+
+#[test]
+fn join_simulation_tracks_model_in_both_cache_regimes() {
+    let gspec = nvidia_v100();
+    for ht_bytes in [MIB, 64 * MIB] {
+        let mut gpu = Gpu::new(gspec.clone());
+        let build_n = ht_bytes / 16;
+        let bk = gpu.alloc_from(&gen::shuffled_keys(build_n, 4));
+        let bv = gpu.alloc_from(&(0..build_n as i32).collect::<Vec<_>>());
+        let (ht, _) =
+            DeviceHashTable::build(&mut gpu, &bk, &bv, slots_for_fill_rate(build_n, 0.5), HashScheme::Mult);
+        let pk = gpu.alloc_from(&gen::foreign_keys(N, build_n, 5));
+        let pv = gpu.alloc_from(&vec![1i32; N]);
+        let (_, _) = kernels::hash_join_sum(&mut gpu, &pk, &pv, &ht); // warmup
+        let (_, r) = kernels::hash_join_sum(&mut gpu, &pk, &pv, &ht);
+        let sim = scaled(&r, N, 1 << 28);
+        let model = models::join::join_probe_gpu_secs(1 << 28, ht_bytes, &gspec);
+        let err = (sim - model).abs() / model;
+        assert!(
+            err < 0.30,
+            "ht {ht_bytes}: sim {sim} vs model {model} ({err:.2})"
+        );
+    }
+}
+
+#[test]
+fn operator_speedups_stay_in_paper_bands() {
+    let c = intel_i7_6900();
+    let g = nvidia_v100();
+    let bw = bandwidth_ratio(&c, &g);
+    let n = 1 << 28;
+
+    // Select and project: gain ~ bandwidth ratio.
+    let select = models::select::select_secs(n, 0.5, c.read_bw, c.write_bw)
+        / models::select::select_secs(n, 0.5, g.read_bw, g.write_bw);
+    assert!((select / bw - 1.0).abs() < 0.1, "select gain {select}");
+    let project = models::project::project_secs(n, c.read_bw, c.write_bw)
+        / models::project::project_secs(n, g.read_bw, g.write_bw);
+    assert!((project / bw - 1.0).abs() < 0.1, "project gain {project}");
+
+    // Sort: ~ bandwidth ratio (both 4 passes).
+    let sort = models::sort::radix_sort_secs(n, 4, c.read_bw, c.write_bw)
+        / models::sort::radix_sort_secs(n, 4, g.read_bw, g.write_bw);
+    assert!((sort / bw - 1.0).abs() < 0.1, "sort gain {sort}");
+
+    // Join: *below* the bandwidth ratio everywhere (the paper's point).
+    for ht in [64 * 1024, 2 * MIB, 512 * MIB] {
+        let gain = models::join::join_probe_cpu_secs(n, ht, &c)
+            / models::join::join_probe_gpu_secs(n, ht, &g);
+        assert!(gain < bw, "join gain {gain} at ht {ht} should be below {bw}");
+    }
+}
+
+#[test]
+fn models_scale_linearly_in_input_size() {
+    let g = nvidia_v100();
+    for f in [
+        models::select::select_secs(1 << 20, 0.5, g.read_bw, g.write_bw)
+            / models::select::select_secs(1 << 21, 0.5, g.read_bw, g.write_bw),
+        models::project::project_secs(1 << 20, g.read_bw, g.write_bw)
+            / models::project::project_secs(1 << 21, g.read_bw, g.write_bw),
+        models::sort::radix_sort_secs(1 << 20, 4, g.read_bw, g.write_bw)
+            / models::sort::radix_sort_secs(1 << 21, 4, g.read_bw, g.write_bw),
+    ] {
+        assert!((f - 0.5).abs() < 1e-9, "ratio {f}");
+    }
+}
+
+#[test]
+fn full_query_speedup_exceeds_bandwidth_ratio() {
+    // The paper's headline: SSB speedups (~25x) exceed the bandwidth ratio
+    // (16.2x) because CPUs stall on irregular accesses while GPUs hide
+    // them.
+    let d = crystal::ssb::SsbData::generate_scaled(1, 0.01, 55);
+    let c = intel_i7_6900();
+    let g = nvidia_v100();
+    let q = crystal::ssb::queries::query(&d, crystal::ssb::QueryId::new(2, 1));
+    let (_, trace) = crystal::ssb::engines::cpu::execute(&d, &q, 4);
+    let speedup = crystal::ssb::model::cpu_empirical_secs(&q, &trace, &c)
+        / crystal::ssb::model::gpu_secs(&q, &trace, &g);
+    assert!(
+        speedup > bandwidth_ratio(&c, &g),
+        "q2.1 modeled speedup {speedup} should exceed the bandwidth ratio"
+    );
+}

@@ -1,0 +1,171 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the workspace.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use crystal::core::hash::{DeviceHashTable, HashScheme};
+use crystal::core::kernels;
+use crystal::cpu;
+use crystal::gpu_sim::cache::Cache;
+use crystal::gpu_sim::exec::LaunchConfig;
+use crystal::gpu_sim::Gpu;
+use crystal::hardware::{nvidia_v100, CacheLevel};
+use crystal::ssb::engines::{group_decode, group_index};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The Crystal selection kernel returns exactly the matching multiset,
+    /// for arbitrary data and thresholds.
+    #[test]
+    fn select_kernel_is_a_filter(data in vec(any::<i32>(), 0..4000), v in any::<i32>()) {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let col = gpu.alloc_from(&data);
+        let (out, _) = kernels::select_gt(&mut gpu, &col, v);
+        let mut got = out.to_host();
+        got.sort_unstable();
+        let mut expected: Vec<i32> = data.iter().copied().filter(|&y| y > v).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// All three CPU selection variants are equivalent.
+    #[test]
+    fn cpu_select_variants_agree(data in vec(-1000i32..1000, 0..5000), v in -1000i32..1000) {
+        let mut a = cpu::select::select_branching(&data, v, 3);
+        let mut b = cpu::select::select_predication(&data, v, 3);
+        let mut c = cpu::select::select_simd_pred(&data, v, 3);
+        a.sort_unstable();
+        b.sort_unstable();
+        c.sort_unstable();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+
+    /// CPU stable radix partitioning is a stable, digit-grouped permutation
+    /// for any radix width and shift.
+    #[test]
+    fn radix_partition_invariants(
+        keys in vec(any::<u32>(), 1..3000),
+        bits in 1u32..9,
+        shift_sel in 0u32..4,
+    ) {
+        let shift = shift_sel * 8;
+        let vals: Vec<u32> = (0..keys.len() as u32).collect();
+        let (ok, ov) = cpu::radix::radix_partition_stable(&keys, &vals, bits, shift, 3);
+        let mask = (1u64 << bits) - 1;
+        let digit = |k: u32| ((k as u64 >> shift) & mask) as u32;
+        // Grouped by digit.
+        for w in ok.windows(2) {
+            prop_assert!(digit(w[0]) <= digit(w[1]));
+        }
+        // Stable: carried input positions ascend within a digit.
+        for i in 1..ok.len() {
+            if digit(ok[i - 1]) == digit(ok[i]) {
+                prop_assert!(ov[i - 1] < ov[i]);
+            }
+        }
+        // Permutation.
+        let mut orig: Vec<(u32, u32)> = keys.iter().copied().zip(vals).collect();
+        let mut got: Vec<(u32, u32)> = ok.into_iter().zip(ov).collect();
+        orig.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(orig, got);
+    }
+
+    /// Both GPU sorts order any input exactly like std sort.
+    #[test]
+    fn gpu_sorts_match_std(keys in vec(any::<u32>(), 1..2000)) {
+        let vals: Vec<u32> = (0..keys.len() as u32).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let mut gpu = Gpu::new(nvidia_v100());
+        let dk = gpu.alloc_from(&keys);
+        let dv = gpu.alloc_from(&vals);
+        let (lk, _, _) = kernels::lsb_radix_sort(&mut gpu, &dk, &dv).unwrap();
+        prop_assert_eq!(lk.as_slice(), &sorted[..]);
+        let (mk, _, _) = kernels::msb_radix_sort(&mut gpu, &dk, &dv).unwrap();
+        prop_assert_eq!(mk.as_slice(), &sorted[..]);
+    }
+
+    /// The device hash table is an exact set: every inserted key probes to
+    /// its payload, absent keys probe to None.
+    #[test]
+    fn device_hash_table_set_semantics(
+        raw_keys in vec(0i32..1_000_000, 1..800),
+        probes in vec(0i32..1_000_000, 0..400),
+    ) {
+        let mut keys = raw_keys;
+        keys.sort_unstable();
+        keys.dedup();
+        let vals: Vec<i32> = keys.iter().map(|k| k ^ 0x5A5A).collect();
+        let mut gpu = Gpu::new(nvidia_v100());
+        let dk = gpu.alloc_from(&keys);
+        let dv = gpu.alloc_from(&vals);
+        let slots = (keys.len() * 2).next_power_of_two();
+        let (ht, _) = DeviceHashTable::build(&mut gpu, &dk, &dv, slots, HashScheme::Mult);
+        let keyset: std::collections::HashSet<i32> = keys.iter().copied().collect();
+        let mut results = Vec::new();
+        gpu.launch("probe", LaunchConfig::default_for_items(probes.len().max(1)), |ctx| {
+            if ctx.block_idx == 0 {
+                for &p in &probes {
+                    results.push((p, ht.probe(ctx, p)));
+                }
+            }
+        });
+        for (p, r) in results {
+            if keyset.contains(&p) {
+                prop_assert_eq!(r, Some(p ^ 0x5A5A));
+            } else {
+                prop_assert_eq!(r, None);
+            }
+        }
+    }
+
+    /// The cache simulator never reports more hits than accesses, and a
+    /// second identical pass over a fitting working set is all hits.
+    #[test]
+    fn cache_lru_invariants(addrs in vec(0u64..8192, 1..500)) {
+        let level = CacheLevel { name: "t", size: 16 * 1024, bandwidth: 1.0, line: 64, assoc: 4 };
+        let mut cache = Cache::new(&level);
+        for &a in &addrs {
+            cache.access(a);
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), addrs.len() as u64);
+        // 8192 bytes of addresses fit a 16KB cache: re-touch everything.
+        cache.reset_counters();
+        for &a in &addrs {
+            cache.access(a);
+        }
+        prop_assert_eq!(cache.misses(), 0);
+    }
+
+    /// Mixed-radix group encoding round-trips for any domain shape.
+    #[test]
+    fn group_index_roundtrip(shape in vec(1usize..40, 1..4), seed in any::<u64>()) {
+        let mut s = seed;
+        let codes: Vec<i32> = shape
+            .iter()
+            .map(|&d| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((s >> 33) as usize % d) as i32
+            })
+            .collect();
+        let idx = group_index(&shape, &codes);
+        prop_assert!(idx < shape.iter().product::<usize>());
+        prop_assert_eq!(group_decode(&shape, idx), codes);
+    }
+
+    /// Dictionary encoding round-trips arbitrary strings.
+    #[test]
+    fn dictionary_roundtrip(words in vec("[a-z]{1,8}", 0..50)) {
+        let mut dict = crystal::storage::Dictionary::new();
+        let codes = dict.encode_all(words.iter().map(|s| s.as_str()));
+        for (w, c) in words.iter().zip(&codes) {
+            prop_assert_eq!(dict.decode(*c), Some(w.as_str()));
+            prop_assert_eq!(dict.code(w), Some(*c));
+        }
+        prop_assert!(dict.len() <= words.len());
+    }
+}
