@@ -23,9 +23,11 @@ fn bench_phases(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("histogram", bits), &bits, |b, &bits| {
             b.iter(|| radix_histogram(&keys, bits, 0, threads))
         });
-        g.bench_with_input(BenchmarkId::new("stable_shuffle", bits), &bits, |b, &bits| {
-            b.iter(|| radix_partition_stable(&keys, &vals, bits, 0, threads))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("stable_shuffle", bits),
+            &bits,
+            |b, &bits| b.iter(|| radix_partition_stable(&keys, &vals, bits, 0, threads)),
+        );
     }
     g.finish();
 }

@@ -43,8 +43,12 @@ fn bench_gpu_sim(c: &mut Criterion) {
         let mut gpu = Gpu::new(nvidia_v100());
         let col = gpu.alloc_from(&data);
         b.iter(|| {
-            let (out, r) =
-                crystal_core::kernels::select_where(&mut gpu, &col, LaunchConfig::default_for_items(N), |y| y < v);
+            let (out, r) = crystal_core::kernels::select_where(
+                &mut gpu,
+                &col,
+                LaunchConfig::default_for_items(N),
+                |y| y < v,
+            );
             gpu.free(out);
             r.time.total_secs()
         })

@@ -14,17 +14,28 @@ fn bench_engines(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig16_ssb_cpu_engines");
     g.throughput(Throughput::Elements(d.lineorder.rows() as u64));
     g.sample_size(10);
-    for id in [QueryId::new(1, 1), QueryId::new(2, 1), QueryId::new(3, 2), QueryId::new(4, 1)] {
+    for id in [
+        QueryId::new(1, 1),
+        QueryId::new(2, 1),
+        QueryId::new(3, 2),
+        QueryId::new(4, 1),
+    ] {
         let q = query(&d, id);
-        g.bench_with_input(BenchmarkId::new("standalone_fused", id.to_string()), &(), |b, _| {
-            b.iter(|| cpu::execute(&d, &q, threads))
-        });
-        g.bench_with_input(BenchmarkId::new("hyper_tuple_at_a_time", id.to_string()), &(), |b, _| {
-            b.iter(|| hyper::execute(&d, &q, threads))
-        });
-        g.bench_with_input(BenchmarkId::new("monetdb_materializing", id.to_string()), &(), |b, _| {
-            b.iter(|| monet::execute(&d, &q, threads))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("standalone_fused", id.to_string()),
+            &(),
+            |b, _| b.iter(|| cpu::execute(&d, &q, threads)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("hyper_tuple_at_a_time", id.to_string()),
+            &(),
+            |b, _| b.iter(|| hyper::execute(&d, &q, threads)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("monetdb_materializing", id.to_string()),
+            &(),
+            |b, _| b.iter(|| monet::execute(&d, &q, threads)),
+        );
     }
     g.finish();
 }

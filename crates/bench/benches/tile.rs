@@ -25,7 +25,9 @@ fn bench_tile_shapes(c: &mut Criterion) {
             let col = gpu.alloc_from(&data);
             b.iter(|| {
                 let (out, r) =
-                    select_where(&mut gpu, &col, LaunchConfig::for_items(N, bs, ipt), |y| y > v);
+                    select_where(&mut gpu, &col, LaunchConfig::for_items(N, bs, ipt), |y| {
+                        y > v
+                    });
                 gpu.free(out);
                 r.stats.blocks
             })
@@ -43,8 +45,9 @@ fn bench_vs_independent(c: &mut Criterion) {
         let mut gpu = Gpu::new(nvidia_v100());
         let col = gpu.alloc_from(&data);
         b.iter(|| {
-            let (out, r) =
-                select_where(&mut gpu, &col, LaunchConfig::default_for_items(N), |y| y > v);
+            let (out, r) = select_where(&mut gpu, &col, LaunchConfig::default_for_items(N), |y| {
+                y > v
+            });
             gpu.free(out);
             r.stats.blocks
         })

@@ -77,8 +77,7 @@ pub fn radix_join(cfg: &Config) {
         let (_, _) = hash_join_sum(&mut gpu, &dpk, &dpv, &ght); // L2 warmup
         let (_, nopart_r) = hash_join_sum(&mut gpu, &dpk, &dpv, &ght);
         let gbits = crystal_core::kernels::radix_join::bits_for_shared_mem(build_n, 48 * KIB);
-        let (_, radix_rs) =
-            gpu_radix_join_sum(&mut gpu, &dbk, &dbv, &dpk, &dpv, gbits).unwrap();
+        let (_, radix_rs) = gpu_radix_join_sum(&mut gpu, &dbk, &dbv, &dpk, &dpv, gbits).unwrap();
         // The first half of the partition kernels handle the (already
         // full-size) build relation and are not scaled; the probe-side
         // passes scale to the paper's 2^28. The final join kernel mixes
@@ -192,7 +191,10 @@ pub fn multi_gpu(cfg: &Config) {
 pub fn agg_groups(cfg: &Config) {
     let n = cfg.micro_n();
     let scale = cfg.scale_to_paper();
-    let mut report = Report::new("ablation_agg_groups", &["groups", "gpu_sim_ms", "bottleneck"]);
+    let mut report = Report::new(
+        "ablation_agg_groups",
+        &["groups", "gpu_sim_ms", "bottleneck"],
+    );
     let mut gpu = Gpu::new(nvidia_v100());
     for log_groups in [0u32, 8, 14, 20, 24] {
         let groups = 1usize << log_groups;
@@ -370,7 +372,12 @@ pub fn skew(cfg: &Config) {
         "ablation_skew",
         &["distribution", "gpu_sim_ms", "l2_hit_ratio"],
     );
-    for (label, theta) in [("uniform", None), ("zipf 0.75", Some(0.75)), ("zipf 1.0", Some(1.0)), ("zipf 1.25", Some(1.25))] {
+    for (label, theta) in [
+        ("uniform", None),
+        ("zipf 0.75", Some(0.75)),
+        ("zipf 1.0", Some(1.0)),
+        ("zipf 1.25", Some(1.25)),
+    ] {
         let bk = gen::shuffled_keys(build_n, 3);
         let bv: Vec<i32> = (0..build_n as i32).collect();
         let pk: Vec<i32> = match theta {
@@ -401,8 +408,7 @@ pub fn skew(cfg: &Config) {
         let _ = before_hits;
         let (_, r) = hash_join_sum(&mut gpu, &dpk, &dpv, &ght);
         let hit = 1.0
-            - r.stats.gather_miss_bytes as f64
-                / (r.stats.random_requests as f64 * 128.0).max(1.0);
+            - r.stats.gather_miss_bytes as f64 / (r.stats.random_requests as f64 * 128.0).max(1.0);
         report.row(vec![
             label.into(),
             ms(scale_kernel(&r, scale)),

@@ -15,8 +15,8 @@
 //!   materializing engines), not absolute paper numbers.
 
 pub mod ablation;
-pub mod scorecard;
 pub mod micro;
+pub mod scorecard;
 pub mod ssb_exp;
 pub mod tables;
 pub mod util;

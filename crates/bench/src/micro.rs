@@ -10,9 +10,9 @@ use crystal_core::kernels::{
     project_sigmoid, select_where,
 };
 use crystal_cpu::join::{probe_prefetch, probe_scalar, probe_simd, CpuHashTable};
+use crystal_cpu::project as cpu_project;
 use crystal_cpu::radix as cpu_radix;
 use crystal_cpu::select::{select_branching, select_predication, select_simd_pred};
-use crystal_cpu::{project as cpu_project};
 use crystal_gpu_sim::exec::LaunchConfig;
 use crystal_gpu_sim::Gpu;
 use crystal_hardware::{bytes::fmt_bytes, intel_i7_6900, nvidia_v100, KIB, MIB};
@@ -31,7 +31,10 @@ pub fn fig9(cfg: &Config) {
     let data = gen::uniform_i32_domain(n, domain, 42);
     let v = gen::threshold_for_selectivity(domain, 0.5);
 
-    let mut report = Report::new("fig9_tile_sweep", &["block_size", "ipt1_ms", "ipt2_ms", "ipt4_ms"]);
+    let mut report = Report::new(
+        "fig9_tile_sweep",
+        &["block_size", "ipt1_ms", "ipt2_ms", "ipt4_ms"],
+    );
     let mut gpu = Gpu::new(nvidia_v100());
     let col = gpu.alloc_from(&data);
     for bs in [32usize, 64, 128, 256, 512, 1024] {
@@ -60,9 +63,12 @@ pub fn tile_model(cfg: &Config) {
 
     let mut gpu = Gpu::new(nvidia_v100());
     let col = gpu.alloc_from(&data);
-    let (out, crystal) = select_where(&mut gpu, &col, LaunchConfig::default_for_items(n), move |y| {
-        y > v
-    });
+    let (out, crystal) = select_where(
+        &mut gpu,
+        &col,
+        LaunchConfig::default_for_items(n),
+        move |y| y > v,
+    );
     gpu.free(out);
     let (out, indep) = independent_select_gt(&mut gpu, &col, v);
     gpu.free(out);
@@ -71,7 +77,11 @@ pub fn tile_model(cfg: &Config) {
     let t_indep = scale_kernels(&indep, scale);
     let mut report = Report::new("tile_model", &["approach", "sim_ms", "paper_ms"]);
     report.row(vec!["crystal_tile".into(), ms(t_crystal), "2.1".into()]);
-    report.row(vec!["independent_threads".into(), ms(t_indep), "19.0".into()]);
+    report.row(vec![
+        "independent_threads".into(),
+        ms(t_indep),
+        "19.0".into(),
+    ]);
     report.finish();
     println!("speedup {} (paper: 9.0x)", ratio(t_indep / t_crystal));
 }
@@ -112,8 +122,13 @@ pub fn fig10(cfg: &Config) {
     });
 
     let model_cpu = models::project::project_secs(paper_n, cpu.read_bw, cpu.write_bw);
-    let model_cpu_q2_naive =
-        models::project::project_udf_cpu_secs(paper_n, cpu.read_bw, cpu.write_bw, 20.0, cpu.scalar_flops());
+    let model_cpu_q2_naive = models::project::project_udf_cpu_secs(
+        paper_n,
+        cpu.read_bw,
+        cpu.write_bw,
+        20.0,
+        cpu.scalar_flops(),
+    );
     let model_gpu = models::project::project_secs(paper_n, gspec.read_bw, gspec.write_bw);
 
     let mut report = Report::new(
@@ -199,9 +214,12 @@ pub fn fig12(cfg: &Config) {
         let sigma = step as f64 / 10.0;
         let v = gen::threshold_for_selectivity(domain, sigma);
 
-        let (out, r) = select_where(&mut gpu, &col, LaunchConfig::default_for_items(n), move |y| {
-            y < v
-        });
+        let (out, r) = select_where(
+            &mut gpu,
+            &col,
+            LaunchConfig::default_for_items(n),
+            move |y| y < v,
+        );
         gpu.free(out);
 
         let host_if = time_median(cfg.reps, || {
@@ -216,10 +234,19 @@ pub fn fig12(cfg: &Config) {
 
         report.row(vec![
             format!("{sigma:.1}"),
-            ms(models::select::select_branching_cpu_secs(paper_n, sigma, &cpu)),
-            ms(models::select::select_predicated_cpu_secs(paper_n, sigma, &cpu)),
+            ms(models::select::select_branching_cpu_secs(
+                paper_n, sigma, &cpu,
+            )),
+            ms(models::select::select_predicated_cpu_secs(
+                paper_n, sigma, &cpu,
+            )),
             ms(scale_kernel(&r, scale)),
-            ms(models::select::select_secs(paper_n, sigma, gspec.read_bw, gspec.write_bw)),
+            ms(models::select::select_secs(
+                paper_n,
+                sigma,
+                gspec.read_bw,
+                gspec.write_bw,
+            )),
             ms(host_if),
             ms(host_pred),
             ms(host_simd),
@@ -309,7 +336,9 @@ pub fn fig13(cfg: &Config) {
         report.row(vec![
             fmt_bytes(ht_bytes),
             ms(models::join::join_probe_cpu_secs(paper_p, ht_bytes, &cpu)),
-            ms(models::join::join_probe_cpu_empirical_secs(paper_p, ht_bytes, &cpu)),
+            ms(models::join::join_probe_cpu_empirical_secs(
+                paper_p, ht_bytes, &cpu,
+            )),
             ms(scale_kernel(&r, scale)),
             ms(models::join::join_probe_gpu_secs(paper_p, ht_bytes, &gspec)),
             ms(host_scalar),
@@ -329,7 +358,10 @@ pub fn fig14(cfg: &Config) {
     let paper_r = cfg.paper_n();
     let cpu = intel_i7_6900();
     let gspec = nvidia_v100();
-    let keys = gen::uniform_i32(n, 21).iter().map(|&k| k as u32).collect::<Vec<_>>();
+    let keys = gen::uniform_i32(n, 21)
+        .iter()
+        .map(|&k| k as u32)
+        .collect::<Vec<_>>();
     let vals: Vec<u32> = (0..n as u32).collect();
     let t = cfg.threads;
 
@@ -363,10 +395,12 @@ pub fn fig14(cfg: &Config) {
         let dk = gpu.alloc_from(&keys);
         let dv = gpu.alloc_from(&vals);
         let lc = LaunchConfig::default_for_items(n);
-        let (hist, hist_r) = crystal_core::kernels::radix::radix_histogram(&mut gpu, &dk, bits, 0, lc);
+        let (hist, hist_r) =
+            crystal_core::kernels::radix::radix_histogram(&mut gpu, &dk, bits, 0, lc);
         gpu.free(hist);
         let stable = if bits <= GPU_STABLE_MAX_BITS {
-            let (a, b, rs) = radix_partition_pass(&mut gpu, &dk, &dv, bits, 0, RadixOrder::Stable).unwrap();
+            let (a, b, rs) =
+                radix_partition_pass(&mut gpu, &dk, &dv, bits, 0, RadixOrder::Stable).unwrap();
             gpu.free(a);
             gpu.free(b);
             Some(scale_kernel(rs.last().unwrap(), scale))
@@ -390,11 +424,19 @@ pub fn fig14(cfg: &Config) {
             ms(hist_host),
             ms(scale_kernel(&hist_r, scale)),
             ms(models::sort::histogram_secs(paper_r, gspec.read_bw)),
-            ms(models::sort::shuffle_secs(paper_r, cpu.read_bw, cpu.write_bw)),
+            ms(models::sort::shuffle_secs(
+                paper_r,
+                cpu.read_bw,
+                cpu.write_bw,
+            )),
             ms(shuf_host),
             opt_ms(stable),
             opt_ms(unstable),
-            ms(models::sort::shuffle_secs(paper_r, gspec.read_bw, gspec.write_bw)),
+            ms(models::sort::shuffle_secs(
+                paper_r,
+                gspec.read_bw,
+                gspec.write_bw,
+            )),
         ]);
     }
     report.finish();
@@ -435,9 +477,17 @@ pub fn sort_exp(cfg: &Config) {
 
     let mut report = Report::new("sort_full", &["series", "ms", "paper_ms"]);
     report.row(vec!["cpu_lsb_model".into(), ms(cpu_model), "-".into()]);
-    report.row(vec!["cpu_lsb_host_measured".into(), ms(host_cpu), "464 (paper hw)".into()]);
+    report.row(vec![
+        "cpu_lsb_host_measured".into(),
+        ms(host_cpu),
+        "464 (paper hw)".into(),
+    ]);
     report.row(vec!["gpu_lsb_sim(5 passes)".into(), ms(t_lsb), "-".into()]);
-    report.row(vec!["gpu_msb_sim(4 passes)".into(), ms(t_msb), "27.08".into()]);
+    report.row(vec![
+        "gpu_msb_sim(4 passes)".into(),
+        ms(t_msb),
+        "27.08".into(),
+    ]);
     report.row(vec!["gpu_msb_model".into(), ms(gpu_model), "-".into()]);
     report.finish();
     println!(

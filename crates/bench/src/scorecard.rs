@@ -182,7 +182,11 @@ pub fn scorecard(cfg: &Config) -> bool {
             format!("{:.2}", c.paper),
             format!("{:.2}", c.reproduced),
             format!("[{:.1}, {:.1}]", c.lo, c.hi),
-            if c.passes() { "ok".into() } else { "MISS".into() },
+            if c.passes() {
+                "ok".into()
+            } else {
+                "MISS".into()
+            },
         ]);
     }
     report.finish();

@@ -43,12 +43,7 @@ pub fn fig3(cfg: &Config) {
         gpu.reset_l2();
         let run = copro::execute_scaled(&mut gpu, &pcie, &d, &q, cfg.fact_scale);
         let t_copro = run.time.overlapped;
-        report.row(vec![
-            q.name.into(),
-            ms(t_monet),
-            ms(t_copro),
-            ms(t_hyper),
-        ]);
+        report.row(vec![q.name.into(), ms(t_monet), ms(t_copro), ms(t_hyper)]);
         monet_t.push(t_monet);
         copro_t.push(t_copro);
         hyper_t.push(t_hyper);
@@ -172,7 +167,11 @@ pub fn case_study(cfg: &Config) {
         "case_study_q21",
         &["component", "gpu_model_ms", "cpu_model_ms"],
     );
-    report.row(vec!["r1_fact_columns".into(), ms(g.fact_columns), ms(c.fact_columns)]);
+    report.row(vec![
+        "r1_fact_columns".into(),
+        ms(g.fact_columns),
+        ms(c.fact_columns),
+    ]);
     report.row(vec!["r2_probes".into(), ms(g.probes), ms(c.probes)]);
     report.row(vec!["r3_result".into(), ms(g.result), ms(c.result)]);
     report.row(vec![
@@ -184,7 +183,11 @@ pub fn case_study(cfg: &Config) {
 
     let mut summary = Report::new("case_study_q21_summary", &["series", "ms", "paper_ms"]);
     summary.row(vec!["gpu_model".into(), ms(g.total()), "3.7".into()]);
-    summary.row(vec!["gpu_simulated".into(), ms(sim), "3.86 (measured)".into()]);
+    summary.row(vec![
+        "gpu_simulated".into(),
+        ms(sim),
+        "3.86 (measured)".into(),
+    ]);
     summary.row(vec![
         "cpu_model".into(),
         ms(crystal_models::ssb::q21_cpu_model_secs(&p, &cpu_spec)),

@@ -32,9 +32,17 @@ pub fn table2() {
         format!("{}/core", fmt_bytes(c.l2_size)),
         format!("{} total", fmt_bytes(g.l2_size)),
     ]);
-    report.row(vec!["l3_size".into(), format!("{} total", fmt_bytes(c.l3_size)), "-".into()]);
+    report.row(vec![
+        "l3_size".into(),
+        format!("{} total", fmt_bytes(c.l3_size)),
+        "-".into(),
+    ]);
     report.row(vec!["read_bw".into(), fmt_bw(c.read_bw), fmt_bw(g.read_bw)]);
-    report.row(vec!["write_bw".into(), fmt_bw(c.write_bw), fmt_bw(g.write_bw)]);
+    report.row(vec![
+        "write_bw".into(),
+        fmt_bw(c.write_bw),
+        fmt_bw(g.write_bw),
+    ]);
     report.row(vec!["l2_bw".into(), "-".into(), fmt_bw(g.l2_bw)]);
     report.row(vec!["l3_bw".into(), fmt_bw(c.l3_bw), "-".into()]);
     report.row(vec!["l1/smem_bw".into(), "-".into(), fmt_bw(g.l1_smem_bw)]);
@@ -61,7 +69,10 @@ pub fn table3(mean_speedup: f64) {
     ]);
     report.finish();
     println!("renting cost ratio:   {}", ratio(rent.cost_ratio()));
-    println!("purchase ratio (high-end): {}", ratio(buy.cost_ratio_high_end()));
+    println!(
+        "purchase ratio (high-end): {}",
+        ratio(buy.cost_ratio_high_end())
+    );
     println!(
         "cost effectiveness at {} speedup: {} (paper: ~4x)",
         ratio(mean_speedup),
@@ -80,7 +91,14 @@ pub fn whatif() {
     let n = 1usize << 28;
     let mut report = Report::new(
         "whatif_hardware",
-        &["pairing", "bw_ratio", "select_gain", "join_512mb_gain", "sort_gain", "select_gpu_ms"],
+        &[
+            "pairing",
+            "bw_ratio",
+            "select_gain",
+            "join_512mb_gain",
+            "sort_gain",
+            "select_gpu_ms",
+        ],
     );
     for (c, g) in pairs {
         let select = crystal_models::select::select_secs(n, 0.5, c.read_bw, c.write_bw)
@@ -95,7 +113,9 @@ pub fn whatif() {
             ratio(select),
             ratio(join),
             ratio(sort),
-            ms(crystal_models::select::select_secs(n, 0.5, g.read_bw, g.write_bw)),
+            ms(crystal_models::select::select_secs(
+                n, 0.5, g.read_bw, g.write_bw,
+            )),
         ]);
     }
     report.finish();

@@ -82,9 +82,7 @@ impl DeviceHashTable {
     #[inline]
     fn home_slot(&self, key: i32) -> usize {
         match self.scheme {
-            HashScheme::Mult => {
-                ((key as u32).wrapping_mul(2654435761) as u64 & self.mask) as usize
-            }
+            HashScheme::Mult => ((key as u32).wrapping_mul(2654435761) as u64 & self.mask) as usize,
             HashScheme::Perfect { min } => (key - min) as usize,
         }
     }
@@ -206,12 +204,16 @@ mod tests {
         let dv = g.alloc_from(&vals);
         let (ht, _) = DeviceHashTable::build(&mut g, &dk, &dv, 2048, HashScheme::Mult);
         let mut found = vec![None; keys.len()];
-        g.launch("probe", LaunchConfig::default_for_items(keys.len()), |ctx| {
-            let (start, len) = ctx.tile_bounds(keys.len());
-            for i in start..start + len {
-                found[i] = ht.probe(ctx, keys[i]);
-            }
-        });
+        g.launch(
+            "probe",
+            LaunchConfig::default_for_items(keys.len()),
+            |ctx| {
+                let (start, len) = ctx.tile_bounds(keys.len());
+                for i in start..start + len {
+                    found[i] = ht.probe(ctx, keys[i]);
+                }
+            },
+        );
         for (i, f) in found.iter().enumerate() {
             assert_eq!(*f, Some(vals[i]), "key {}", keys[i]);
         }

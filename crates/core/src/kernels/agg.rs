@@ -39,7 +39,10 @@ pub fn column_sum_i64(gpu: &mut Gpu, col: &DeviceBuffer<i32>) -> (i64, KernelRep
 }
 
 /// `SELECT MIN(col), MAX(col) FROM r`.
-pub fn column_min_max(gpu: &mut Gpu, col: &DeviceBuffer<i32>) -> (Option<(i32, i32)>, KernelReport) {
+pub fn column_min_max(
+    gpu: &mut Gpu,
+    col: &DeviceBuffer<i32>,
+) -> (Option<(i32, i32)>, KernelReport) {
     let n = col.len();
     let cfg = LaunchConfig::default_for_items(n);
     let tile = cfg.tile();

@@ -64,9 +64,8 @@ pub fn hash_join_sum(
         partials.clear();
         for i in 0..len {
             if bitmap.as_slice()[i] {
-                partials.push(
-                    (vals.as_slice()[i] as i64).wrapping_add(payloads.as_slice()[i] as i64),
-                );
+                partials
+                    .push((vals.as_slice()[i] as i64).wrapping_add(payloads.as_slice()[i] as i64));
             }
         }
         let block_sum = block_agg_sum(ctx, &partials);
@@ -88,7 +87,11 @@ mod tests {
 
     /// Builds a table of `build_n` unique keys and probes with `probe_n`
     /// tuples whose keys all hit.
-    fn setup(g: &mut Gpu, build_n: usize, probe_n: usize) -> (DeviceHashTable, DeviceBuffer<i32>, DeviceBuffer<i32>, i64) {
+    fn setup(
+        g: &mut Gpu,
+        build_n: usize,
+        probe_n: usize,
+    ) -> (DeviceHashTable, DeviceBuffer<i32>, DeviceBuffer<i32>, i64) {
         let build_keys: Vec<i32> = (0..build_n as i32).collect();
         let build_vals: Vec<i32> = build_keys.iter().map(|k| k * 3).collect();
         let bk = g.alloc_from(&build_keys);

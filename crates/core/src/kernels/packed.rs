@@ -148,7 +148,11 @@ mod tests {
     fn packed_column(n: usize, bits: u32) -> (Vec<i32>, PackedColumn) {
         let domain = 1i32 << (bits - 1);
         let values: Vec<i32> = (0..n)
-            .map(|i| (i as i32).wrapping_mul(2654435761u32 as i32).rem_euclid(domain))
+            .map(|i| {
+                (i as i32)
+                    .wrapping_mul(2654435761u32 as i32)
+                    .rem_euclid(domain)
+            })
             .collect();
         let packed = PackedColumn::pack(&values, bits).unwrap();
         (values, packed)
@@ -184,7 +188,8 @@ mod tests {
         let plain = gpu.alloc_from(&values);
         let (_, plain_r) = crate::kernels::select_gt(&mut gpu, &plain, 64);
         // 8-bit packing reads ~1/4 of the plain column's bytes.
-        let ratio = plain_r.stats.global_read_bytes as f64 / packed_r.stats.global_read_bytes as f64;
+        let ratio =
+            plain_r.stats.global_read_bytes as f64 / packed_r.stats.global_read_bytes as f64;
         assert!((3.5..4.5).contains(&ratio), "read ratio {ratio}");
         // ...and the simulated kernel is faster (bandwidth-bound device).
         assert!(packed_r.time.total_secs() < plain_r.time.total_secs());

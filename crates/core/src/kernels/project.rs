@@ -29,7 +29,9 @@ pub fn project_linear(
     a: f32,
     b: f32,
 ) -> (DeviceBuffer<f32>, KernelReport) {
-    project_map(gpu, x1, x2, "project_linear", 0, move |v1, v2| a * v1 + b * v2)
+    project_map(gpu, x1, x2, "project_linear", 0, move |v1, v2| {
+        a * v1 + b * v2
+    })
 }
 
 /// Q2: `SELECT sigma(a*x1 + b*x2) FROM R` where `sigma(x) = 1/(1+e^-x)`.

@@ -163,7 +163,11 @@ pub fn radix_shuffle(
         RadixOrder::Unstable => GPU_UNSTABLE_MAX_BITS,
     };
     if bits > max_bits {
-        return Err(RadixError { bits, max_bits, order });
+        return Err(RadixError {
+            bits,
+            max_bits,
+            order,
+        });
     }
     let n = keys.len();
     assert_eq!(vals.len(), n);
@@ -171,7 +175,11 @@ pub fn radix_shuffle(
     // Staging both columns plus the cursor array in shared memory; the
     // stable variant additionally burns registers/shared memory on
     // per-thread cursor state.
-    let per_thread_state = if order == RadixOrder::Stable { cfg.block_dim * buckets } else { 0 };
+    let per_thread_state = if order == RadixOrder::Stable {
+        cfg.block_dim * buckets
+    } else {
+        0
+    };
     let cfg = cfg.with_shared_mem(cfg.tile() * 8 + buckets * 4 + per_thread_state);
     let mut out_keys = gpu.alloc_zeroed::<u32>(n);
     let mut out_vals = gpu.alloc_zeroed::<u32>(n);
@@ -186,7 +194,8 @@ pub fn radix_shuffle(
         // Stage, reorder locally, then write out: two shared round-trips.
         ctx.shared(2 * len * 8);
         ctx.sync();
-        let mut cursors: Vec<u32> = offsets.as_slice()[buckets_base..buckets_base + buckets].to_vec();
+        let mut cursors: Vec<u32> =
+            offsets.as_slice()[buckets_base..buckets_base + buckets].to_vec();
         for i in start..start + len {
             let k = keys.as_slice()[i];
             let d = digit(k, shift, bits);
@@ -239,7 +248,9 @@ mod tests {
         let mut x = seed | 1;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 32) as u32
             })
             .collect()
@@ -270,7 +281,10 @@ mod tests {
         let (ok, _ov, _) =
             radix_partition_pass(&mut g, &dk, &dv, 5, 0, RadixOrder::Stable).unwrap();
         let digits: Vec<usize> = ok.as_slice().iter().map(|&k| (k & 31) as usize).collect();
-        assert!(digits.windows(2).all(|w| w[0] <= w[1]), "digits must be grouped");
+        assert!(
+            digits.windows(2).all(|w| w[0] <= w[1]),
+            "digits must be grouped"
+        );
     }
 
     #[test]
@@ -284,8 +298,12 @@ mod tests {
             radix_partition_pass(&mut g, &dk, &dv, 6, 8, RadixOrder::Unstable).unwrap();
         // Every (key, val) pair survives.
         let mut orig: Vec<(u32, u32)> = keys.iter().copied().zip(vals.iter().copied()).collect();
-        let mut got: Vec<(u32, u32)> =
-            ok.as_slice().iter().copied().zip(ov.as_slice().iter().copied()).collect();
+        let mut got: Vec<(u32, u32)> = ok
+            .as_slice()
+            .iter()
+            .copied()
+            .zip(ov.as_slice().iter().copied())
+            .collect();
         orig.sort_unstable();
         got.sort_unstable();
         assert_eq!(orig, got);
@@ -294,14 +312,22 @@ mod tests {
     #[test]
     fn stable_partition_preserves_input_order_within_digit() {
         let mut g = gpu();
-        let keys = pseudo_random(30_000, 5).iter().map(|k| k & 0xFF).collect::<Vec<_>>();
+        let keys = pseudo_random(30_000, 5)
+            .iter()
+            .map(|k| k & 0xFF)
+            .collect::<Vec<_>>();
         let vals: Vec<u32> = (0..30_000).collect(); // input position
         let dk = g.alloc_from(&keys);
         let dv = g.alloc_from(&vals);
-        let (ok, ov, _) =
-            radix_partition_pass(&mut g, &dk, &dv, 4, 0, RadixOrder::Stable).unwrap();
+        let (ok, ov, _) = radix_partition_pass(&mut g, &dk, &dv, 4, 0, RadixOrder::Stable).unwrap();
         // Within equal digits, the carried input positions must ascend.
-        for w in ok.as_slice().iter().zip(ov.as_slice()).collect::<Vec<_>>().windows(2) {
+        for w in ok
+            .as_slice()
+            .iter()
+            .zip(ov.as_slice())
+            .collect::<Vec<_>>()
+            .windows(2)
+        {
             let ((k0, v0), (k1, v1)) = (w[0], w[1]);
             if (k0 & 0xF) == (k1 & 0xF) {
                 assert!(v0 < v1, "stability violated: {v0} !< {v1}");
@@ -341,11 +367,16 @@ mod tests {
         let vals = keys.clone();
         let dk = g.alloc_from(&keys);
         let dv = g.alloc_from(&vals);
-        let (_, _, r3) = radix_partition_pass(&mut g, &dk, &dv, 3, 0, RadixOrder::Unstable).unwrap();
+        let (_, _, r3) =
+            radix_partition_pass(&mut g, &dk, &dv, 3, 0, RadixOrder::Unstable).unwrap();
         let w3 = r3[2].stats.global_read_bytes;
-        let (_, _, r8) = radix_partition_pass(&mut g, &dk, &dv, 8, 0, RadixOrder::Unstable).unwrap();
+        let (_, _, r8) =
+            radix_partition_pass(&mut g, &dk, &dv, 8, 0, RadixOrder::Unstable).unwrap();
         let w8 = r8[2].stats.global_read_bytes;
-        assert!(w8 > w3, "shuffle read traffic should grow with bits: {w8} vs {w3}");
+        assert!(
+            w8 > w3,
+            "shuffle read traffic should grow with bits: {w8} vs {w3}"
+        );
     }
 
     #[test]

@@ -78,9 +78,8 @@ pub fn radix_join_sum(
 
     // Phase 1: partition both relations (reinterpret i32 keys as u32; the
     // paper's workloads use non-negative keys so digit order is unchanged).
-    let as_u32 = |b: &DeviceBuffer<i32>| -> Vec<u32> {
-        b.as_slice().iter().map(|&v| v as u32).collect()
-    };
+    let as_u32 =
+        |b: &DeviceBuffer<i32>| -> Vec<u32> { b.as_slice().iter().map(|&v| v as u32).collect() };
     let partition = |gpu: &mut Gpu,
                      keys: Vec<u32>,
                      vals: Vec<u32>,

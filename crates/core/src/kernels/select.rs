@@ -23,7 +23,12 @@ pub fn select_gt(
     col: &DeviceBuffer<i32>,
     v: i32,
 ) -> (DeviceBuffer<i32>, KernelReport) {
-    select_where(gpu, col, LaunchConfig::default_for_items(col.len()), move |y| y > v)
+    select_where(
+        gpu,
+        col,
+        LaunchConfig::default_for_items(col.len()),
+        move |y| y > v,
+    )
 }
 
 /// `SELECT y FROM r WHERE y < v` with the paper's default tile shape.
@@ -32,7 +37,12 @@ pub fn select_lt(
     col: &DeviceBuffer<i32>,
     v: i32,
 ) -> (DeviceBuffer<i32>, KernelReport) {
-    select_where(gpu, col, LaunchConfig::default_for_items(col.len()), move |y| y < v)
+    select_where(
+        gpu,
+        col,
+        LaunchConfig::default_for_items(col.len()),
+        move |y| y < v,
+    )
 }
 
 /// General selection scan: one Crystal kernel, arbitrary predicate and
@@ -198,7 +208,9 @@ mod tests {
         let mut x = 12345u64;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) as i32
             })
             .collect()

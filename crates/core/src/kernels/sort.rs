@@ -36,7 +36,8 @@ pub fn lsb_radix_sort(
     let mut cur_v = gpu.alloc_from(vals.as_slice());
     let mut shift = 0u32;
     for bits in LSB_PASS_BITS {
-        let (nk, nv, rs) = radix_partition_pass(gpu, &cur_k, &cur_v, bits, shift, RadixOrder::Stable)?;
+        let (nk, nv, rs) =
+            radix_partition_pass(gpu, &cur_k, &cur_v, bits, shift, RadixOrder::Stable)?;
         reports.extend(rs);
         gpu.free(cur_k);
         gpu.free(cur_v);
@@ -160,7 +161,9 @@ mod tests {
         let mut x = seed | 1;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 32) as u32
             })
             .collect()
@@ -169,7 +172,10 @@ mod tests {
     fn reference_sorted(keys: &[u32], vals: &[u32]) -> (Vec<u32>, Vec<u32>) {
         let mut pairs: Vec<(u32, u32)> = keys.iter().copied().zip(vals.iter().copied()).collect();
         pairs.sort_by_key(|&(k, _)| k);
-        (pairs.iter().map(|p| p.0).collect(), pairs.iter().map(|p| p.1).collect())
+        (
+            pairs.iter().map(|p| p.0).collect(),
+            pairs.iter().map(|p| p.1).collect(),
+        )
     }
 
     #[test]

@@ -277,7 +277,9 @@ mod tests {
     use crystal_gpu_sim::{Gpu, LaunchConfig};
     use crystal_hardware::nvidia_v100;
 
-    fn with_ctx<R>(f: impl FnMut(&mut BlockCtx<'_>) -> R) -> (Vec<R>, crystal_gpu_sim::KernelReport) {
+    fn with_ctx<R>(
+        f: impl FnMut(&mut BlockCtx<'_>) -> R,
+    ) -> (Vec<R>, crystal_gpu_sim::KernelReport) {
         let mut gpu = Gpu::new(nvidia_v100());
         let mut results = Vec::new();
         let mut f = f;
@@ -328,7 +330,10 @@ mod tests {
             block_pred(ctx, &tile, |v| v >= 2, &mut bm);
             assert_eq!(bm.as_slice().iter().filter(|&&b| b).count(), 6);
             block_pred_and(ctx, &tile, |v| v < 5, &mut bm);
-            assert_eq!(bm.as_slice(), &[false, false, true, true, true, false, false, false]);
+            assert_eq!(
+                bm.as_slice(),
+                &[false, false, true, true, true, false, false, false]
+            );
             block_pred_or(ctx, &tile, |v| v == 7, &mut bm);
             assert!(bm.as_slice()[7]);
         });

@@ -44,14 +44,10 @@ where
     if ranges.len() <= 1 {
         return ranges.into_iter().map(f).collect();
     }
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|r| s.spawn(|_| f(r)))
-            .collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges.into_iter().map(|r| s.spawn(|| f(r))).collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     })
-    .unwrap()
 }
 
 /// A raw pointer that may cross thread boundaries. Used by operators whose

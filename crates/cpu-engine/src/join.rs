@@ -222,10 +222,7 @@ fn prefetch_slot(ht: &CpuHashTable, slot: usize) {
     #[cfg(target_arch = "x86_64")]
     unsafe {
         use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
-        _mm_prefetch(
-            ht.slots.as_ptr().add(slot) as *const i8,
-            _MM_HINT_T0,
-        );
+        _mm_prefetch(ht.slots.as_ptr().add(slot) as *const i8, _MM_HINT_T0);
     }
     #[cfg(not(target_arch = "x86_64"))]
     {

@@ -61,7 +61,11 @@ mod tests {
     fn column(n: usize, bits: u32) -> (Vec<i32>, PackedColumn) {
         let domain = 1i32 << (bits - 1);
         let values: Vec<i32> = (0..n)
-            .map(|i| (i as i32).wrapping_mul(2654435761u32 as i32).rem_euclid(domain))
+            .map(|i| {
+                (i as i32)
+                    .wrapping_mul(2654435761u32 as i32)
+                    .rem_euclid(domain)
+            })
             .collect();
         (values.clone(), PackedColumn::pack(&values, bits).unwrap())
     }
@@ -80,7 +84,10 @@ mod tests {
     #[test]
     fn packed_sum_matches_plain() {
         let (values, packed) = column(10_000, 7);
-        assert_eq!(sum_packed(&packed, 3), values.iter().map(|&v| v as i64).sum::<i64>());
+        assert_eq!(
+            sum_packed(&packed, 3),
+            values.iter().map(|&v| v as i64).sum::<i64>()
+        );
     }
 
     #[test]

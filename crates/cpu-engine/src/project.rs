@@ -7,7 +7,6 @@
 //!   stable-Rust equivalent; the sequential full-width writes here let the
 //!   hardware's write-combining achieve a similar effect.
 
-
 /// Q1 naive: `out[i] = a*x1[i] + b*x2[i]`.
 pub fn project_linear_naive(x1: &[f32], x2: &[f32], a: f32, b: f32, threads: usize) -> Vec<f32> {
     project(x1, x2, threads, |v1, v2| a * v1 + b * v2, false)
@@ -43,7 +42,7 @@ where
     let mut out = vec![0.0f32; n];
     // Hand each thread a disjoint &mut of the output.
     let parts = crate::exec::partition_ranges(n, threads);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut rest: &mut [f32] = &mut out;
         let mut offset = 0usize;
         for range in parts {
@@ -54,7 +53,7 @@ where
             let x1 = &x1[start..start + head.len()];
             let x2 = &x2[start..start + head.len()];
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 if chunked {
                     let lanes = head.len() / 8 * 8;
                     // 8-lane bodies vectorize; the tail runs scalar.
@@ -73,8 +72,7 @@ where
                 }
             });
         }
-    })
-    .unwrap();
+    });
     out
 }
 

@@ -79,12 +79,12 @@ pub fn radix_partition_stable(
     let mut out_vals = vec![0u32; n];
     let pk = SendPtr(out_keys.as_mut_ptr());
     let pv = SendPtr(out_vals.as_mut_ptr());
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (t, range) in ranges.iter().cloned().enumerate() {
             let mut cursor = cursors[t].clone();
             let keys = &keys[range.clone()];
             let vals = &vals[range];
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut buf_k = vec![[0u32; WC_BUFFER]; buckets];
                 let mut buf_v = vec![[0u32; WC_BUFFER]; buckets];
                 let mut buf_len = vec![0u8; buckets];
@@ -123,8 +123,7 @@ pub fn radix_partition_stable(
                 }
             });
         }
-    })
-    .unwrap();
+    });
     (out_keys, out_vals)
 }
 
@@ -150,7 +149,9 @@ mod tests {
         let mut x = seed | 1;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 32) as u32
             })
             .collect()

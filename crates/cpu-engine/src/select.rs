@@ -124,7 +124,9 @@ mod tests {
         let mut x = 1234u64;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) % 1_000_000) as i32
             })
             .collect()

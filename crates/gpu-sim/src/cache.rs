@@ -203,7 +203,9 @@ mod tests {
         let ws = 2 * level.size as u64;
         let mut x = 0x9e3779b97f4a7c15u64;
         for _ in 0..200_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let addr = x % ws;
             c.access(addr);
         }

@@ -251,7 +251,9 @@ impl Gpu {
 
     /// Allocates a zero-initialized buffer of `len` elements.
     pub fn alloc_zeroed<T: Copy + Default>(&mut self, len: usize) -> DeviceBuffer<T> {
-        self.mem.alloc_zeroed(len).expect("device allocation failed")
+        self.mem
+            .alloc_zeroed(len)
+            .expect("device allocation failed")
     }
 
     /// Fallible zeroed allocation.

@@ -139,7 +139,10 @@ impl Memory {
     }
 
     /// Allocates a buffer holding `data`.
-    pub fn alloc_from<T: Copy + Default>(&mut self, data: Vec<T>) -> Result<DeviceBuffer<T>, OutOfDeviceMemory> {
+    pub fn alloc_from<T: Copy + Default>(
+        &mut self,
+        data: Vec<T>,
+    ) -> Result<DeviceBuffer<T>, OutOfDeviceMemory> {
         let bytes = data.len() * std::mem::size_of::<T>();
         if self.used + bytes > self.capacity {
             return Err(OutOfDeviceMemory {
@@ -156,7 +159,10 @@ impl Memory {
     }
 
     /// Allocates a zero-initialized buffer of `len` elements.
-    pub fn alloc_zeroed<T: Copy + Default>(&mut self, len: usize) -> Result<DeviceBuffer<T>, OutOfDeviceMemory> {
+    pub fn alloc_zeroed<T: Copy + Default>(
+        &mut self,
+        len: usize,
+    ) -> Result<DeviceBuffer<T>, OutOfDeviceMemory> {
         self.alloc_from(vec![T::default(); len])
     }
 

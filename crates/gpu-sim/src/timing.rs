@@ -192,7 +192,12 @@ mod tests {
         };
         let t = kernel_time(&spec, &shape(128, 4), &stats);
         let ideal = (6 * n) as f64 / 880.0e9;
-        assert!(t.total_secs() < ideal * 1.1, "{} vs ideal {}", t.total_secs(), ideal);
+        assert!(
+            t.total_secs() < ideal * 1.1,
+            "{} vs ideal {}",
+            t.total_secs(),
+            ideal
+        );
         assert_eq!(t.bottleneck(), "hbm");
     }
 

@@ -83,7 +83,11 @@ impl GpuSpec {
     /// memory usage — the occupancy calculation of Section 3.3 ("each
     /// streaming multiprocessor holds a maximum of 2048 threads, hence large
     /// thread blocks reduce the number of independent thread blocks").
-    pub fn resident_blocks_per_sm(&self, block_threads: usize, shared_mem_per_block: usize) -> usize {
+    pub fn resident_blocks_per_sm(
+        &self,
+        block_threads: usize,
+        shared_mem_per_block: usize,
+    ) -> usize {
         if block_threads == 0 {
             return 0;
         }

@@ -38,7 +38,11 @@ pub fn join_probe_secs(
 
     // Find the first (smallest) level that holds the whole table.
     if let Some(k) = levels.iter().position(|l| l.size >= ht_bytes) {
-        let prev_hit = if k == 0 { 0.0 } else { levels[k - 1].hit_ratio(ht_bytes) };
+        let prev_hit = if k == 0 {
+            0.0
+        } else {
+            levels[k - 1].hit_ratio(ht_bytes)
+        };
         let probe = (1.0 - prev_hit) * p * levels[k].line as f64 / levels[k].bandwidth;
         scan.max(probe)
     } else {
@@ -56,7 +60,13 @@ pub fn join_probe_cpu_secs(probe_rows: usize, ht_bytes: usize, cpu: &CpuSpec) ->
         .into_iter()
         .filter(|l| l.name != "L1")
         .collect();
-    join_probe_secs(probe_rows, ht_bytes, cpu.read_bw, cpu.cache_line, &hierarchy)
+    join_probe_secs(
+        probe_rows,
+        ht_bytes,
+        cpu.read_bw,
+        cpu.cache_line,
+        &hierarchy,
+    )
 }
 
 /// CPU empirical model: the measured CPU curve sits above the ideal one
@@ -73,11 +83,18 @@ pub fn join_probe_cpu_empirical_secs(probe_rows: usize, ht_bytes: usize, cpu: &C
     let scan = 2.0 * ENTRY_BYTES * p / cpu.read_bw;
     let c = cpu.cache_line as f64;
     if let Some(k) = hierarchy.iter().position(|l| l.size >= ht_bytes) {
-        let prev_hit = if k == 0 { 0.0 } else { hierarchy[k - 1].hit_ratio(ht_bytes) };
+        let prev_hit = if k == 0 {
+            0.0
+        } else {
+            hierarchy[k - 1].hit_ratio(ht_bytes)
+        };
         let probe = (1.0 - prev_hit) * p * c / hierarchy[k].bandwidth;
         scan.max(probe)
     } else {
-        let pi = hierarchy.last().map(|l| l.hit_ratio(ht_bytes)).unwrap_or(0.0);
+        let pi = hierarchy
+            .last()
+            .map(|l| l.hit_ratio(ht_bytes))
+            .unwrap_or(0.0);
         scan + (1.0 - pi) * p * c / (cpu.read_bw * cpu.random_access_efficiency)
     }
 }
@@ -128,7 +145,10 @@ mod tests {
         // In-L2 probes are bound by L2 sector traffic, which exceeds the
         // probe-relation scan time.
         let probe = P as f64 * g.l2_transfer_bytes as f64 / g.l2_bw;
-        assert!((small - probe).abs() < 1e-9, "small {small} vs probe {probe}");
+        assert!(
+            (small - probe).abs() < 1e-9,
+            "small {small} vs probe {probe}"
+        );
     }
 
     /// Paper: "when the hash table size is between 32KB and 128KB ... the
@@ -153,13 +173,19 @@ mod tests {
         let g = nvidia_v100();
         let h = 512 * MIB;
         let ideal = join_probe_cpu_secs(P, h, &c) / join_probe_gpu_secs(P, h, &g);
-        assert!((6.0..10.0).contains(&ideal), "ideal large-table gain {ideal}");
+        assert!(
+            (6.0..10.0).contains(&ideal),
+            "ideal large-table gain {ideal}"
+        );
         let empirical = join_probe_cpu_empirical_secs(P, h, &c) / join_probe_gpu_secs(P, h, &g);
         assert!(
             empirical > ideal,
             "stalls push the measured ratio above the ideal one"
         );
-        assert!((9.0..14.0).contains(&empirical), "empirical gain {empirical}");
+        assert!(
+            (9.0..14.0).contains(&empirical),
+            "empirical gain {empirical}"
+        );
     }
 
     #[test]
@@ -167,8 +193,7 @@ mod tests {
         let c = intel_i7_6900();
         let h = 64 * KIB;
         assert!(
-            (join_probe_cpu_empirical_secs(P, h, &c) - join_probe_cpu_secs(P, h, &c)).abs()
-                < 1e-12
+            (join_probe_cpu_empirical_secs(P, h, &c) - join_probe_cpu_secs(P, h, &c)).abs() < 1e-12
         );
     }
 

@@ -30,8 +30,11 @@ pub fn project_udf_cpu_secs(
     scalar_ops_per_item: f64,
     scalar_flops: f64,
 ) -> f64 {
-    project_secs(n, read_bw, write_bw)
-        .max(project_compute_bound_secs(n, scalar_ops_per_item, scalar_flops))
+    project_secs(n, read_bw, write_bw).max(project_compute_bound_secs(
+        n,
+        scalar_ops_per_item,
+        scalar_flops,
+    ))
 }
 
 #[cfg(test)]
@@ -66,7 +69,10 @@ mod tests {
         let c = intel_i7_6900();
         let bw = project_secs(N, c.read_bw, c.write_bw);
         let total = project_udf_cpu_secs(N, c.read_bw, c.write_bw, 20.0, c.scalar_flops());
-        assert!(total > 2.0 * bw, "udf {total} should dominate bandwidth {bw}");
+        assert!(
+            total > 2.0 * bw,
+            "udf {total} should dominate bandwidth {bw}"
+        );
         // With SIMD (8 lanes) the compute bound drops below the bandwidth
         // bound and the query becomes memory bound again.
         let simd = project_udf_cpu_secs(N, c.read_bw, c.write_bw, 20.0, c.simd_flops());

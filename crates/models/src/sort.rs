@@ -48,7 +48,10 @@ mod tests {
         assert!((250.0..500.0).contains(&cpu), "cpu {cpu} ms");
         assert!((15.0..30.0).contains(&gpu), "gpu {gpu} ms");
         let ratio = cpu / gpu;
-        assert!((15.5..17.5).contains(&ratio), "gain {ratio} ~ bandwidth ratio");
+        assert!(
+            (15.5..17.5).contains(&ratio),
+            "gain {ratio} ~ bandwidth ratio"
+        );
     }
 
     /// The GPU's stable LSB needs 5 passes vs MSB's 4: a 25% penalty.

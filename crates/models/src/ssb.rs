@@ -93,10 +93,8 @@ pub fn q21_gpu_model(p: &Q21Params, gpu: &GpuSpec) -> Q21Breakdown {
     let s1 = p.sigma1;
     let s12 = p.sigma1 * p.sigma2;
 
-    let r1_lines = full_lines
-        + full_lines.min(l * s1)
-        + full_lines.min(l * s12)
-        + full_lines.min(l * s12);
+    let r1_lines =
+        full_lines + full_lines.min(l * s1) + full_lines.min(l * s12) + full_lines.min(l * s12);
     let r1 = r1_lines * c / gpu.read_bw;
 
     // Probability that a part-table lookup hits L2: the supplier and date
@@ -127,10 +125,8 @@ pub fn q21_cpu_model(p: &Q21Params, cpu: &CpuSpec) -> Q21Breakdown {
     let s1 = p.sigma1;
     let s12 = p.sigma1 * p.sigma2;
 
-    let r1_lines = full_lines
-        + full_lines.min(l * s1)
-        + full_lines.min(l * s12)
-        + full_lines.min(l * s12);
+    let r1_lines =
+        full_lines + full_lines.min(l * s1) + full_lines.min(l * s12) + full_lines.min(l * s12);
     let r1 = r1_lines * c / cpu.read_bw;
 
     // One L3 line per probe: every row probes supplier; survivors probe
@@ -186,11 +182,17 @@ mod tests {
         let gpu = q21_gpu_model(&p, &nvidia_v100());
         let g_ms = gpu.total() * 1e3;
         let c_ms = q21_cpu_model_secs(&p, &intel_i7_6900()) * 1e3;
-        assert!((2.2..4.6).contains(&g_ms), "gpu model {g_ms} ms vs paper 3.7");
+        assert!(
+            (2.2..4.6).contains(&g_ms),
+            "gpu model {g_ms} ms vs paper 3.7"
+        );
         // The paper's 47 ms counts only the dominant supplier probes; we
         // charge part/date probes too, landing ~25% above (see
         // EXPERIMENTS.md).
-        assert!((40.0..62.0).contains(&c_ms), "cpu model {c_ms} ms vs paper 47");
+        assert!(
+            (40.0..62.0).contains(&c_ms),
+            "cpu model {c_ms} ms vs paper 47"
+        );
     }
 
     /// The measured CPU runtime was 125 ms; the empirical estimate must
@@ -203,7 +205,10 @@ mod tests {
         let emp = q21_cpu_empirical_secs(&p, &cpu);
         assert!(emp > 1.8 * ideal, "empirical {emp} vs ideal {ideal}");
         let ms = emp * 1e3;
-        assert!((100.0..150.0).contains(&ms), "empirical {ms} ms vs paper 125");
+        assert!(
+            (100.0..150.0).contains(&ms),
+            "empirical {ms} ms vs paper 125"
+        );
     }
 
     /// The paper's pi for the part table: 5.7/8.

@@ -282,11 +282,7 @@ fn gen_part(n: usize, dicts: &mut SsbDicts, seed: u64) -> PartDim {
     p
 }
 
-fn gen_geo(
-    n: usize,
-    dicts: &mut SsbDicts,
-    seed: u64,
-) -> (Vec<i32>, Vec<i32>, Vec<i32>) {
+fn gen_geo(n: usize, dicts: &mut SsbDicts, seed: u64) -> (Vec<i32>, Vec<i32>, Vec<i32>) {
     let mut rng = SmallRng::seed_from_u64(seed);
     // Register geography labels once (idempotent across supplier/customer).
     for (nation, region) in NATIONS {

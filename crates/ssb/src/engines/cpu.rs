@@ -169,7 +169,10 @@ mod tests {
         let q = crate::queries::query(&d, crate::QueryId::new(2, 1));
         let (result, trace) = execute(&d, &q, 4);
         assert_eq!(trace.fact_rows, d.lineorder.rows());
-        assert_eq!(trace.pred_survivors, trace.fact_rows, "q2.1 has no fact preds");
+        assert_eq!(
+            trace.pred_survivors, trace.fact_rows,
+            "q2.1 has no fact preds"
+        );
         // Each stage's probes equal the previous stage's hits.
         assert_eq!(trace.stages[0].probes, trace.fact_rows);
         assert_eq!(trace.stages[1].probes, trace.stages[0].hits);

@@ -14,7 +14,9 @@
 //! contended atomic per tile.
 
 use crystal_core::hash::{DeviceHashTable, HashScheme};
-use crystal_core::primitives::{block_load, block_load_sel, block_lookup, block_pred, block_pred_and};
+use crystal_core::primitives::{
+    block_load, block_load_sel, block_lookup, block_pred, block_pred_and,
+};
 use crystal_core::tile::Tile;
 use crystal_gpu_sim::exec::LaunchConfig;
 use crystal_gpu_sim::mem::DeviceBuffer;
@@ -136,7 +138,13 @@ pub fn execute(gpu: &mut Gpu, d: &SsbData, q: &StarQuery) -> GpuRun {
         // Fact predicates: first column with BlockLoad + BlockPred, the
         // rest selectively with AndPred (Figure 7(b)).
         if let Some((first, rest)) = q.fact_preds.split_first() {
-            block_load(ctx, &device_cols[col_of(first.col)], start, len, &mut tile_col);
+            block_load(
+                ctx,
+                &device_cols[col_of(first.col)],
+                start,
+                len,
+                &mut tile_col,
+            );
             let p = *first;
             block_pred(ctx, &tile_col, move |v| p.matches(v), &mut bitmap);
             for pred in rest {
@@ -183,9 +191,21 @@ pub fn execute(gpu: &mut Gpu, d: &SsbData, q: &StarQuery) -> GpuRun {
 
         // Aggregate inputs, selectively loaded.
         let agg_cols = q.agg.columns();
-        block_load_sel(ctx, &device_cols[col_of(agg_cols[0])], start, &bitmap, &mut agg_in1);
+        block_load_sel(
+            ctx,
+            &device_cols[col_of(agg_cols[0])],
+            start,
+            &bitmap,
+            &mut agg_in1,
+        );
         if agg_cols.len() > 1 {
-            block_load_sel(ctx, &device_cols[col_of(agg_cols[1])], start, &bitmap, &mut agg_in2);
+            block_load_sel(
+                ctx,
+                &device_cols[col_of(agg_cols[1])],
+                start,
+                &bitmap,
+                &mut agg_in2,
+            );
         }
 
         let mut block_sum = 0i64;
@@ -335,7 +355,10 @@ mod tests {
         let q = query(&d, QueryId::new(2, 1));
         let run = execute(&mut gpu, &d, &q);
         let probe = run.reports.last().unwrap();
-        assert_eq!(probe.stats.scattered_atomics as usize, run.trace.result_rows);
+        assert_eq!(
+            probe.stats.scattered_atomics as usize,
+            run.trace.result_rows
+        );
     }
 
     #[test]

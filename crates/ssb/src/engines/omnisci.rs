@@ -222,12 +222,7 @@ mod tests {
         let crystal = crystal_gpu::execute(&mut gpu, &d, &q);
         gpu.reset_l2();
         let omnisci = execute(&mut gpu, &d, &q);
-        let crystal_probe: f64 = crystal
-            .reports
-            .last()
-            .unwrap()
-            .time
-            .total_secs();
+        let crystal_probe: f64 = crystal.reports.last().unwrap().time.total_secs();
         let omnisci_total = omnisci.sim_secs();
         assert!(
             omnisci_total > 3.0 * crystal_probe,

@@ -21,7 +21,9 @@ pub fn join_selectivity(d: &SsbData, join: &DimJoin) -> f64 {
     if keys.is_empty() {
         return 1.0;
     }
-    let pass = (0..keys.len()).filter(|&row| join.row_matches(d, row)).count();
+    let pass = (0..keys.len())
+        .filter(|&row| join.row_matches(d, row))
+        .count();
     pass as f64 / keys.len() as f64
 }
 
@@ -106,7 +108,10 @@ pub fn optimize_join_order_cost_based(
     let (cost, perm) = best.expect("at least one permutation");
     let joins = std::mem::take(&mut q.joins);
     let mut slots: Vec<Option<DimJoin>> = joins.into_iter().map(Some).collect();
-    q.joins = perm.iter().map(|&i| slots[i].take().expect("unique index")).collect();
+    q.joins = perm
+        .iter()
+        .map(|&i| slots[i].take().expect("unique index"))
+        .collect();
     cost
 }
 

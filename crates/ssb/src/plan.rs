@@ -239,9 +239,7 @@ impl AggExpr {
     pub fn eval(&self, d: &SsbData, i: usize) -> i64 {
         let lo = &d.lineorder;
         match self {
-            AggExpr::SumDiscountedPrice => {
-                lo.extendedprice[i] as i64 * lo.discount[i] as i64
-            }
+            AggExpr::SumDiscountedPrice => lo.extendedprice[i] as i64 * lo.discount[i] as i64,
             AggExpr::SumRevenue => lo.revenue[i] as i64,
             AggExpr::SumProfit => lo.revenue[i] as i64 - lo.supplycost[i] as i64,
         }
@@ -304,7 +302,11 @@ impl StarQuery {
 
     /// Mixed-radix size of the dense group domain (1 = scalar aggregate).
     pub fn group_domain(&self) -> usize {
-        self.group_attrs().iter().map(|a| a.domain()).product::<usize>().max(1)
+        self.group_attrs()
+            .iter()
+            .map(|a| a.domain())
+            .product::<usize>()
+            .max(1)
     }
 
     /// Renders the plan as the SQL it implements (Figure 2 / Figure 17
@@ -319,7 +321,12 @@ impl StarQuery {
         let mut preds: Vec<String> = Vec::new();
         let mut groups: Vec<String> = Vec::new();
         for p in &self.fact_preds {
-            preds.push(format!("{} BETWEEN {} AND {}", fact_col_name(p.col), p.lo, p.hi));
+            preds.push(format!(
+                "{} BETWEEN {} AND {}",
+                fact_col_name(p.col),
+                p.lo,
+                p.hi
+            ));
         }
         for j in &self.joins {
             let (table, key) = match j.table {
@@ -337,7 +344,10 @@ impl StarQuery {
                     DimPred::Between(_, lo, hi) => format!("{attr} BETWEEN {lo} AND {hi}"),
                     DimPred::In(_, vs) => format!(
                         "{attr} IN ({})",
-                        vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+                        vs.iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
                     ),
                 });
             }

@@ -387,7 +387,10 @@ mod tests {
         let d = tiny();
         let q = query(&d, QueryId::new(2, 1));
         let tables: Vec<DimTable> = q.joins.iter().map(|j| j.table).collect();
-        assert_eq!(tables, vec![DimTable::Supplier, DimTable::Part, DimTable::Date]);
+        assert_eq!(
+            tables,
+            vec![DimTable::Supplier, DimTable::Part, DimTable::Date]
+        );
         assert_eq!(q.group_domain(), 1000 * 7);
     }
 

@@ -50,11 +50,7 @@ mod tests {
 
     #[test]
     fn groups_are_sorted_and_nonzero() {
-        let r = QueryResult::from_groups(vec![
-            (vec![2, 1], 10),
-            (vec![1, 5], 7),
-            (vec![1, 2], 0),
-        ]);
+        let r = QueryResult::from_groups(vec![(vec![2, 1], 10), (vec![1, 5], 7), (vec![1, 2], 0)]);
         match &r {
             QueryResult::Groups(g) => {
                 assert_eq!(g.len(), 2);

@@ -47,12 +47,20 @@ impl PackedColumn {
     /// Packs `values` at `bits` per value (1..=32).
     pub fn pack(values: &[i32], bits: u32) -> Result<Self, PackError> {
         assert!((1..=32).contains(&bits));
-        let mask = if bits == 32 { u32::MAX as u64 } else { (1u64 << bits) - 1 };
+        let mask = if bits == 32 {
+            u32::MAX as u64
+        } else {
+            (1u64 << bits) - 1
+        };
         let total_bits = values.len() * bits as usize;
         let mut words = vec![0u64; total_bits.div_ceil(64)];
         for (i, &v) in values.iter().enumerate() {
             if v < 0 || (v as u64) & !mask != 0 {
-                return Err(PackError { index: i, value: v, bits });
+                return Err(PackError {
+                    index: i,
+                    value: v,
+                    bits,
+                });
             }
             let bit = i * bits as usize;
             let (word, off) = (bit / 64, (bit % 64) as u32);
@@ -71,7 +79,10 @@ impl PackedColumn {
     /// Reassembles a column from its stored parts (see `crate::io`).
     pub fn from_raw(bits: u32, len: usize, words: Vec<u64>) -> Self {
         assert!((1..=32).contains(&bits));
-        assert!(words.len() * 64 >= len * bits as usize, "word stream too short");
+        assert!(
+            words.len() * 64 >= len * bits as usize,
+            "word stream too short"
+        );
         PackedColumn { bits, len, words }
     }
 
@@ -121,7 +132,11 @@ impl PackedColumn {
 /// kernels, which operate on raw words).
 #[inline]
 pub fn unpack_at(words: &[u64], bits: u32, i: usize) -> i32 {
-    let mask = if bits == 32 { u32::MAX as u64 } else { (1u64 << bits) - 1 };
+    let mask = if bits == 32 {
+        u32::MAX as u64
+    } else {
+        (1u64 << bits) - 1
+    };
     let bit = i * bits as usize;
     let (word, off) = (bit / 64, (bit % 64) as u32);
     let mut v = words[word] >> off;

@@ -120,7 +120,10 @@ mod tests {
         let z = zipf(50_000, 1000, 1.0, 9);
         let ones = z.iter().filter(|&&v| v == 1).count();
         let nine_hundreds = z.iter().filter(|&&v| v >= 900).count();
-        assert!(ones * 2 > nine_hundreds, "zipf should favor rank 1: {ones} vs {nine_hundreds}");
+        assert!(
+            ones * 2 > nine_hundreds,
+            "zipf should favor rank 1: {ones} vs {nine_hundreds}"
+        );
         assert!(z.iter().all(|&v| (1..=1000).contains(&v)));
     }
 

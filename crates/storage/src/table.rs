@@ -109,10 +109,7 @@ mod tests {
     fn t() -> Table {
         Table::new(
             "t",
-            vec![
-                ("a", vec![1, 2, 3].into()),
-                ("b", vec![10, 20, 30].into()),
-            ],
+            vec![("a", vec![1, 2, 3].into()), ("b", vec![10, 20, 30].into())],
         )
     }
 
@@ -134,9 +131,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn ragged_columns_rejected() {
-        Table::new(
-            "bad",
-            vec![("a", vec![1].into()), ("b", vec![1, 2].into())],
-        );
+        Table::new("bad", vec![("a", vec![1].into()), ("b", vec![1, 2].into())]);
     }
 }

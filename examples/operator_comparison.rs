@@ -33,7 +33,9 @@ fn main() {
     let data = gen::uniform_i32_domain(N, domain, 1);
     let v = gen::threshold_for_selectivity(domain, 0.5);
     let col = gpu.alloc_from(&data);
-    let (out, r) = kernels::select_where(&mut gpu, &col, LaunchConfig::default_for_items(N), |y| y < v);
+    let (out, r) = kernels::select_where(&mut gpu, &col, LaunchConfig::default_for_items(N), |y| {
+        y < v
+    });
     let host = cpu::select::select_simd_pred(&data, v, threads);
     assert_eq!(out.len(), host.len());
     gpu.free(out);
@@ -61,7 +63,13 @@ fn main() {
     let bvals: Vec<i32> = (0..build_n as i32).collect();
     let dbk = gpu.alloc_from(&bkeys);
     let dbv = gpu.alloc_from(&bvals);
-    let (ht, _) = DeviceHashTable::build(&mut gpu, &dbk, &dbv, slots_for_fill_rate(build_n, 0.5), HashScheme::Mult);
+    let (ht, _) = DeviceHashTable::build(
+        &mut gpu,
+        &dbk,
+        &dbv,
+        slots_for_fill_rate(build_n, 0.5),
+        HashScheme::Mult,
+    );
     let pkeys = gen::foreign_keys(N, build_n, 6);
     let pvals = vec![1i32; N];
     let dpk = gpu.alloc_from(&pkeys);
@@ -83,7 +91,11 @@ fn main() {
     let (sk, _, reports) = kernels::msb_radix_sort(&mut gpu, &dk, &dv).unwrap();
     let (ck, _) = cpu::radix::lsb_radix_sort(&keys, &vals, threads);
     assert_eq!(sk.as_slice(), &ck[..]);
-    let sim: f64 = reports.iter().map(|r| r.time.bottleneck_secs()).sum::<f64>() * scale;
+    let sim: f64 = reports
+        .iter()
+        .map(|r| r.time.bottleneck_secs())
+        .sum::<f64>()
+        * scale;
     let m_cpu = models::sort::radix_sort_secs(1 << 28, 4, cpu_spec.read_bw, cpu_spec.write_bw);
     let m_gpu = models::sort::radix_sort_secs(1 << 28, 4, gpu_spec.read_bw, gpu_spec.write_bw);
     report("sort", m_cpu, m_gpu, sim);

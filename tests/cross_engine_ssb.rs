@@ -29,18 +29,34 @@ fn all_engines_agree_on_all_13_queries() {
         assert_eq!(trace.fact_rows, d.lineorder.rows());
 
         let got_hyper = hyper::execute(&d, &q, threads);
-        assert_eq!(got_hyper, expected, "{}: tuple-at-a-time engine diverged", q.name);
+        assert_eq!(
+            got_hyper, expected,
+            "{}: tuple-at-a-time engine diverged",
+            q.name
+        );
 
         let got_monet = monet::execute(&d, &q, threads);
-        assert_eq!(got_monet, expected, "{}: materializing engine diverged", q.name);
+        assert_eq!(
+            got_monet, expected,
+            "{}: materializing engine diverged",
+            q.name
+        );
 
         device.reset_l2();
         let run = gpu::execute(&mut device, &d, &q);
-        assert_eq!(run.result, expected, "{}: Crystal GPU engine diverged", q.name);
+        assert_eq!(
+            run.result, expected,
+            "{}: Crystal GPU engine diverged",
+            q.name
+        );
 
         device.reset_l2();
         let omni = omnisci::execute(&mut device, &d, &q);
-        assert_eq!(omni.result, expected, "{}: thread-per-row GPU engine diverged", q.name);
+        assert_eq!(
+            omni.result, expected,
+            "{}: thread-per-row GPU engine diverged",
+            q.name
+        );
     }
 }
 
@@ -51,7 +67,11 @@ fn gpu_and_cpu_traces_agree_on_selectivities() {
     for q in all_queries(&d) {
         let (_, cpu_trace) = cpu::execute(&d, &q, 4);
         let run = gpu::execute(&mut device, &d, &q);
-        assert_eq!(cpu_trace.pred_survivors, run.trace.pred_survivors, "{}", q.name);
+        assert_eq!(
+            cpu_trace.pred_survivors, run.trace.pred_survivors,
+            "{}",
+            q.name
+        );
         assert_eq!(cpu_trace.result_rows, run.trace.result_rows, "{}", q.name);
         for (a, b) in cpu_trace.stages.iter().zip(&run.trace.stages) {
             assert_eq!(a.probes, b.probes, "{}: stage probes", q.name);

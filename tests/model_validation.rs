@@ -28,13 +28,20 @@ fn select_simulation_tracks_model_within_15_percent() {
     let col = gpu.alloc_from(&data);
     for sigma in [0.1, 0.5, 0.9] {
         let v = gen::threshold_for_selectivity(domain, sigma);
-        let (out, r) =
-            kernels::select_where(&mut gpu, &col, LaunchConfig::default_for_items(N), move |y| y < v);
+        let (out, r) = kernels::select_where(
+            &mut gpu,
+            &col,
+            LaunchConfig::default_for_items(N),
+            move |y| y < v,
+        );
         gpu.free(out);
         let sim = scaled(&r, N, 1 << 28);
         let model = models::select::select_secs(1 << 28, sigma, gspec.read_bw, gspec.write_bw);
         let err = (sim - model).abs() / model;
-        assert!(err < 0.15, "sigma {sigma}: sim {sim} vs model {model} ({err:.2})");
+        assert!(
+            err < 0.15,
+            "sigma {sigma}: sim {sim} vs model {model} ({err:.2})"
+        );
     }
 }
 
@@ -60,8 +67,13 @@ fn join_simulation_tracks_model_in_both_cache_regimes() {
         let build_n = ht_bytes / 16;
         let bk = gpu.alloc_from(&gen::shuffled_keys(build_n, 4));
         let bv = gpu.alloc_from(&(0..build_n as i32).collect::<Vec<_>>());
-        let (ht, _) =
-            DeviceHashTable::build(&mut gpu, &bk, &bv, slots_for_fill_rate(build_n, 0.5), HashScheme::Mult);
+        let (ht, _) = DeviceHashTable::build(
+            &mut gpu,
+            &bk,
+            &bv,
+            slots_for_fill_rate(build_n, 0.5),
+            HashScheme::Mult,
+        );
         let pk = gpu.alloc_from(&gen::foreign_keys(N, build_n, 5));
         let pv = gpu.alloc_from(&vec![1i32; N]);
         let (_, _) = kernels::hash_join_sum(&mut gpu, &pk, &pv, &ht); // warmup
@@ -100,7 +112,10 @@ fn operator_speedups_stay_in_paper_bands() {
     for ht in [64 * 1024, 2 * MIB, 512 * MIB] {
         let gain = models::join::join_probe_cpu_secs(n, ht, &c)
             / models::join::join_probe_gpu_secs(n, ht, &g);
-        assert!(gain < bw, "join gain {gain} at ht {ht} should be below {bw}");
+        assert!(
+            gain < bw,
+            "join gain {gain} at ht {ht} should be below {bw}"
+        );
     }
 }
 

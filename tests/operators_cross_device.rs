@@ -23,7 +23,12 @@ fn select_agrees_across_devices_and_variants() {
         let mut expected: Vec<i32> = data.iter().copied().filter(|&y| y < v).collect();
         expected.sort_unstable();
 
-        let (out, _) = kernels::select_where(&mut gpu, &col, LaunchConfig::default_for_items(N), move |y| y < v);
+        let (out, _) = kernels::select_where(
+            &mut gpu,
+            &col,
+            LaunchConfig::default_for_items(N),
+            move |y| y < v,
+        );
         let mut got_gpu = out.to_host();
         got_gpu.sort_unstable();
         assert_eq!(got_gpu, expected, "gpu sigma={sigma}");

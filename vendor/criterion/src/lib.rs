@@ -1,0 +1,221 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of criterion its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`throughput`, `sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is intentionally simple: each benchmark runs a short warmup
+//! then `sample_size` timed batches, reporting the per-iteration mean and —
+//! when a throughput is set — the derived rate. There is no outlier
+//! analysis, no plotting, and no baseline persistence; the point is that
+//! `cargo bench` compiles and produces honest order-of-magnitude numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level driver handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group {name} ==");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), None, 10, &mut f);
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.throughput, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.throughput, self.sample_size, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// `function_name/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Units for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// Collects one timing sample per `iter` call site.
+pub struct Bencher {
+    sample_size: usize,
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `sample_size` batches of the routine and records the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup (also primes caches/allocator the way criterion's warmup
+        // phase would, just much shorter).
+        black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = Some(total.as_nanos() as f64 / iters as f64);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        sample_size,
+        mean_ns: None,
+    };
+    f(&mut b);
+    match b.mean_ns {
+        Some(ns) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+                    format!("  {:>10.3} GB/s", n as f64 / ns)
+                }
+                Throughput::Elements(n) => {
+                    format!("  {:>10.3} Melem/s", n as f64 / ns * 1e3)
+                }
+            });
+            eprintln!(
+                "{label:<60} {:>12.1} ns/iter{}",
+                ns,
+                rate.unwrap_or_default()
+            );
+        }
+        None => eprintln!("{label:<60}  (no iter() call)"),
+    }
+}
+
+/// Declares a group function invoking each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group (benches set `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,29 @@
+//! Collection strategies (`vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec`s with element strategy `S` and length drawn from a
+/// half-open range.
+pub struct VecStrategy<S: Strategy> {
+    elem: S,
+    len: Range<usize>,
+}
+
+/// `vec(element_strategy, len_range)` — as in upstream proptest.
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "vec strategy: empty length range");
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.len.end - self.len.start) as u128;
+        let n = self.len.start + ((rng.next_u64() as u128) % span) as usize;
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,141 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of proptest its property tests use:
+//!
+//! * the [`proptest!`] macro with the `#![proptest_config(..)]` header and
+//!   `arg in strategy` bindings;
+//! * strategies: integer ranges, `any::<T>()`, tuples, [`collection::vec`],
+//!   and string-literal regex strategies of the `[a-z]{1,8}` form;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from upstream: failing cases are **not shrunk** — the panic
+//! message carries the test name and case index, and generation is fully
+//! deterministic (derived from the test name), so a failure reproduces by
+//! rerunning the same test binary.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Expands property tests into plain `#[test]` functions that loop over
+/// deterministically generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::new(stringify!($name), __case);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    let __guard = $crate::test_runner::CasePanicContext::new(
+                        stringify!($name),
+                        __case,
+                    );
+                    $body
+                    __guard.disarm();
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name( $($arg in $strat),+ ) $body )*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3i32..17, y in 1usize..5, z in 0u64..1_000_000_000) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..5).contains(&y));
+            prop_assert!(z < 1_000_000_000);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in vec(any::<i32>(), 2..10)) {
+            prop_assert!((2..10).contains(&v.len()));
+        }
+
+        #[test]
+        fn tuples_and_bools(pairs in vec((any::<i32>(), any::<bool>()), 1..50)) {
+            prop_assert!(!pairs.is_empty());
+        }
+
+        #[test]
+        fn string_regex_subset(words in vec("[a-z]{1,8}", 0..20)) {
+            for w in &words {
+                prop_assert!((1..=8).contains(&w.len()), "{}", w);
+                prop_assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        let mut a = crate::test_runner::TestRng::new("t", 0);
+        let mut b = crate::test_runner::TestRng::new("t", 0);
+        let sa = crate::strategy::Strategy::generate(&(0i32..1000), &mut a);
+        let sb = crate::strategy::Strategy::generate(&(0i32..1000), &mut b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn bool_generation_hits_both_values() {
+        let mut rng = crate::test_runner::TestRng::new("bools", 0);
+        let vs: Vec<bool> = (0..64)
+            .map(|_| crate::strategy::Strategy::generate(&any::<bool>(), &mut rng))
+            .collect();
+        assert!(vs.iter().any(|&b| b) && vs.iter().any(|&b| !b));
+    }
+}

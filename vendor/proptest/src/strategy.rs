@@ -1,0 +1,222 @@
+//! Value-generation strategies: integer ranges, `any::<T>()`, tuples, and
+//! string-literal regex strategies of the `[a-z]{1,8}` subset.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A source of generated values. Unlike upstream proptest there is no value
+/// tree / shrinking: `generate` directly produces one value per case.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+#[inline]
+fn sample_span(rng: &mut TestRng, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    (rng.next_u64() as u128) % span
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[inline]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + sample_span(rng, span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            #[inline]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + sample_span(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Types with a whole-domain default strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[inline]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    #[inline]
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    #[inline]
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// String literals are regex strategies. Supported subset: literal ASCII
+/// characters, character classes `[a-z0-9_]` (ranges and singletons), and
+/// `{n}` / `{m,n}` quantifiers on the preceding atom. This covers the
+/// patterns the workspace tests use (e.g. `"[a-z]{1,8}"`); anything else
+/// panics loudly rather than silently generating the wrong language.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in atoms {
+            let n = if lo == hi {
+                lo
+            } else {
+                (sample_span(rng, (hi - lo + 1) as u128) as usize) + lo
+            };
+            for _ in 0..n {
+                let i = sample_span(rng, chars.len() as u128) as usize;
+                out.push(chars[i]);
+            }
+        }
+        out
+    }
+}
+
+/// Parses the supported regex subset into `(alphabet, min_reps, max_reps)`
+/// atoms.
+fn parse_pattern(pat: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let mut atoms: Vec<(Vec<char>, usize, usize)> = Vec::new();
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("proptest stub: unclosed '[' in {pat:?}"))
+                    + i;
+                let mut alphabet = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (a, b) = (chars[j], chars[j + 2]);
+                        assert!(a <= b, "proptest stub: bad class range in {pat:?}");
+                        for c in a..=b {
+                            alphabet.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        alphabet.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(
+                    !alphabet.is_empty(),
+                    "proptest stub: empty class in {pat:?}"
+                );
+                atoms.push((alphabet, 1, 1));
+                i = close + 1;
+            }
+            '{' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("proptest stub: unclosed '{{' in {pat:?}"))
+                    + i;
+                let spec: String = chars[i + 1..close].iter().collect();
+                let (lo, hi) = match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().expect("bad {m,n}"),
+                        b.trim().parse().expect("bad {m,n}"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad {n}");
+                        (n, n)
+                    }
+                };
+                assert!(lo <= hi, "proptest stub: bad quantifier in {pat:?}");
+                let last = atoms
+                    .last_mut()
+                    .unwrap_or_else(|| panic!("proptest stub: dangling quantifier in {pat:?}"));
+                assert!(
+                    last.1 == 1 && last.2 == 1,
+                    "proptest stub: double quantifier in {pat:?}"
+                );
+                last.1 = lo;
+                last.2 = hi;
+                i = close + 1;
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' || c == ' ' || c == '#' || c == '-' => {
+                atoms.push((vec![c], 1, 1));
+                i += 1;
+            }
+            '\\' if i + 1 < chars.len() => {
+                atoms.push((vec![chars[i + 1]], 1, 1));
+                i += 2;
+            }
+            other => panic!(
+                "proptest stub: unsupported regex construct {other:?} in {pat:?} \
+                 (supported: literals, [..] classes, {{n}}/{{m,n}} quantifiers)"
+            ),
+        }
+    }
+    atoms
+}

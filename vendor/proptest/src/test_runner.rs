@@ -1,0 +1,108 @@
+//! Deterministic case generation and failure reporting.
+
+/// Per-`proptest!`-block configuration. Only `cases` is supported.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// The per-case RNG: xoshiro256++ seeded from a hash of the test name and
+/// case index, so every test has an independent, reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a, so seeding does not depend on `DefaultHasher`'s unstable output.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl TestRng {
+    pub fn new(test_name: &str, case: u32) -> Self {
+        let mut sm = fnv1a(test_name.as_bytes()) ^ ((case as u64) << 32 | 0x9E37);
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Prints which generated case failed when the test body panics (there is
+/// no shrinking; the case index plus the deterministic seeding is enough to
+/// reproduce).
+pub struct CasePanicContext {
+    test_name: &'static str,
+    case: u32,
+    armed: bool,
+}
+
+impl CasePanicContext {
+    pub fn new(test_name: &'static str, case: u32) -> Self {
+        CasePanicContext {
+            test_name,
+            case,
+            armed: true,
+        }
+    }
+
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CasePanicContext {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest: test '{}' failed at generated case {} \
+                 (deterministic; rerun the test to reproduce)",
+                self.test_name, self.case
+            );
+        }
+    }
+}

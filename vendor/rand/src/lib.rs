@@ -1,0 +1,219 @@
+//! Offline drop-in subset of the `rand 0.8` API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the small slice of `rand` it uses: [`rngs::SmallRng`], [`SeedableRng`]
+//! (only `seed_from_u64`) and [`Rng`] (`gen_range` over half-open and
+//! inclusive integer ranges, plus `gen::<f32>()` / `gen::<f64>()`).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — deterministic
+//! for a given seed on every platform, which is all the workspace requires:
+//! every dataset and workload generator takes an explicit seed and must be
+//! reproducible run-to-run (see `crystal-storage::gen` and
+//! `crystal-ssb::data`). The stream differs from upstream `rand`'s
+//! `SmallRng`; nothing in the workspace depends on the exact stream, only
+//! on determinism and uniformity.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number source: 64 uniformly random bits per call.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (only the `seed_from_u64` entry point).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types `Rng::gen` can produce.
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Ranges `Rng::gen_range` can sample from.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+#[inline]
+fn sample_span<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    // Modulo bias is < 2^-64 for all spans the workspace uses; acceptable
+    // for workload generation.
+    (rng.next_u64() as u128) % span
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + sample_span(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + sample_span(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// The user-facing sampling interface, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic PRNG (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            SmallRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000i32), b.gen_range(0..1_000_000i32));
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let xs: Vec<i32> = (0..32).map(|_| a.gen_range(0..1_000_000)).collect();
+        let ys: Vec<i32> = (0..32).map(|_| c.gen_range(0..1_000_000)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(5..17i32);
+            assert!((5..17).contains(&v));
+            let w = r.gen_range(1..=50i32);
+            assert!((1..=50).contains(&w));
+            let u = r.gen_range(0..3usize);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_uniformish() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let mean32: f32 = (0..n).map(|_| r.gen::<f32>()).sum::<f32>() / n as f32;
+        assert!((mean32 - 0.5).abs() < 0.01, "mean {mean32}");
+    }
+
+    #[test]
+    fn all_residues_reachable() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 25];
+        for _ in 0..10_000 {
+            seen[r.gen_range(0..25usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
