@@ -1,0 +1,53 @@
+//! Morsel-driven vs static-partition scheduling on the SSB engines.
+//!
+//! The acceptance bar for the executor rewire: the morsel-driven CPU path
+//! (`cpu::execute`, which lowers onto `crystal_ssb::exec`) must be no
+//! slower than the pre-executor scoped-thread path (`cpu::execute_scoped`)
+//! at default scale. Also benched: the tuple-at-a-time mode on the same
+//! scheduler, and a randomized query to show the executor is not
+//! specialized to the 13 canned plans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crystal_ssb::arbitrary::random_star_query;
+use crystal_ssb::engines::cpu;
+use crystal_ssb::exec::{self, PipelineMode};
+use crystal_ssb::queries::{query, QueryId};
+use crystal_ssb::SsbData;
+
+fn bench_schedulers(c: &mut Criterion) {
+    // ~600k fact rows, as in the `ssb` bench.
+    let d = SsbData::generate_scaled(1, 0.1, 99);
+    let threads = crystal_cpu::exec::default_threads();
+    let mut g = c.benchmark_group("ssb_parallel_morsel_vs_scoped");
+    g.throughput(Throughput::Elements(d.lineorder.rows() as u64));
+    g.sample_size(10);
+    for id in [QueryId::new(1, 1), QueryId::new(2, 1), QueryId::new(4, 1)] {
+        let q = query(&d, id);
+        g.bench_with_input(
+            BenchmarkId::new("morsel_vectorized", id.to_string()),
+            &(),
+            |b, _| b.iter(|| cpu::execute(&d, &q, threads)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("scoped_vectorized", id.to_string()),
+            &(),
+            |b, _| b.iter(|| cpu::execute_scoped(&d, &q, threads)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("morsel_tuple_at_a_time", id.to_string()),
+            &(),
+            |b, _| b.iter(|| exec::execute(&d, &q, threads, PipelineMode::TupleAtATime)),
+        );
+    }
+    // A generated (non-canned) star query through the same paths.
+    let rq = random_star_query(&d, 20_260_730);
+    g.bench_with_input(
+        BenchmarkId::new("morsel_vectorized", "qrand"),
+        &(),
+        |b, _| b.iter(|| exec::execute(&d, &rq, threads, PipelineMode::Vectorized)),
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

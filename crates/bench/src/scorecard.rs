@@ -147,6 +147,49 @@ pub fn scorecard(cfg: &Config) -> bool {
         hi: 6.0,
     });
 
+    // Executor rewire: the morsel-driven CPU path must not be slower than
+    // the pre-executor scoped-thread path (q2.1 on the shared dataset;
+    // generous band — this is a same-machine ratio, not a paper number).
+    {
+        let q21 = crystal_ssb::queries::query(&d, crystal_ssb::QueryId::new(2, 1));
+        let t_morsel = crate::util::time_median(cfg.reps, || {
+            let _ = cpu_engine::execute(&d, &q21, cfg.threads);
+        });
+        let t_scoped = crate::util::time_median(cfg.reps, || {
+            let _ = cpu_engine::execute_scoped(&d, &q21, cfg.threads);
+        });
+        checks.push(Check {
+            name: "morsel/scoped CPU speed (>= par)",
+            paper: 1.0,
+            reproduced: t_scoped / t_morsel,
+            lo: 0.7,
+            hi: f64::INFINITY,
+        });
+    }
+
+    // Randomized differential: generated star queries agree between the
+    // reference oracle and the morsel-driven executor (fraction agreeing;
+    // must be exactly 1).
+    {
+        let dd = SsbData::generate_scaled(1, 0.002, 20_260_730);
+        let total = 64u64;
+        let agree = (0..total)
+            .filter(|&i| {
+                let q = crystal_ssb::arbitrary::random_star_query(&dd, 20_260_730 + i);
+                let expected = crystal_ssb::engines::reference::execute(&dd, &q);
+                let (got, _) = cpu_engine::execute(&dd, &q, cfg.threads);
+                got == expected
+            })
+            .count();
+        checks.push(Check {
+            name: "random differential agreement",
+            paper: 1.0,
+            reproduced: agree as f64 / total as f64,
+            lo: 1.0,
+            hi: 1.0,
+        });
+    }
+
     // Section 3.3: Crystal vs independent threads (small simulation).
     let mut gpu = Gpu::new(gpu_spec.clone());
     let data = crystal_storage::gen::uniform_i32_domain(1 << 20, 1 << 20, 1);

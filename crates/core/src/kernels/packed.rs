@@ -195,6 +195,31 @@ mod tests {
         assert!(packed_r.time.total_secs() < plain_r.time.total_secs());
     }
 
+    /// Duplicate-heavy packed data: sparse hot values and an all-equal
+    /// column produce empty and full tiles, stressing the per-block
+    /// offset reservation instead of the uniform mix.
+    #[test]
+    fn duplicate_heavy_packed_select() {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let n = 30_000usize;
+        let values: Vec<i32> = (0..n).map(|i| i32::from(i % 25 == 0) * 7).collect();
+        let packed = PackedColumn::pack(&values, 4).unwrap();
+        let dev = DevicePackedColumn::upload(&mut gpu, &packed);
+        let (out, _) = select_gt_packed(&mut gpu, &dev, 0);
+        let expected: Vec<i32> = values.iter().copied().filter(|&y| y > 0).collect();
+        assert_eq!(out.as_slice(), &expected[..]);
+        let (sum, _) = column_sum_packed(&mut gpu, &dev);
+        assert_eq!(sum, values.iter().map(|&v| v as i64).sum::<i64>());
+
+        let constant = vec![9i32; n];
+        let packed = PackedColumn::pack(&constant, 5).unwrap();
+        let dev = DevicePackedColumn::upload(&mut gpu, &packed);
+        let (all, _) = select_gt_packed(&mut gpu, &dev, 8);
+        assert_eq!(all.len(), n);
+        let (none, _) = select_gt_packed(&mut gpu, &dev, 9);
+        assert!(none.is_empty());
+    }
+
     #[test]
     fn device_footprint_reflects_compression() {
         let mut gpu = Gpu::new(nvidia_v100());

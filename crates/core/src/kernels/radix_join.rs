@@ -278,4 +278,82 @@ mod tests {
         assert_eq!(bits_for_shared_mem(1 << 20, 48 * 1024), 9);
         assert_eq!(bits_for_shared_mem(1 << 10, 48 * 1024), 1);
     }
+
+    /// Duplicate-heavy probes: ~90% of probe keys are one hot key, so one
+    /// partition pair carries almost the whole probe stream while the
+    /// others are nearly empty. The uniform `workload` never produces this
+    /// imbalance; correctness must not depend on balanced partitions.
+    #[test]
+    fn skewed_probe_keys_match_unpartitioned_join() {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let build_n = 4_096usize;
+        let bk: Vec<i32> = (0..build_n as i32).collect();
+        let bv: Vec<i32> = bk.iter().map(|k| k.wrapping_mul(11)).collect();
+        let mut x = 21u64;
+        let (pk, pv): (Vec<i32>, Vec<i32>) = (0..40_000)
+            .map(|i| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let k = if (x >> 60) < 15 {
+                    1_234
+                } else {
+                    ((x >> 33) as usize % build_n) as i32
+                };
+                (k, i as i32)
+            })
+            .unzip();
+        let dbk = gpu.alloc_from(&bk);
+        let dbv = gpu.alloc_from(&bv);
+        let dpk = gpu.alloc_from(&pk);
+        let dpv = gpu.alloc_from(&pv);
+        let (ht, _) = DeviceHashTable::build(
+            &mut gpu,
+            &dbk,
+            &dbv,
+            slots_for_fill_rate(bk.len(), 0.5),
+            HashScheme::Mult,
+        );
+        let (expected, _) = hash_join_sum(&mut gpu, &dpk, &dpv, &ht);
+        for bits in [2u32, 6, 9] {
+            let (got, _) = radix_join_sum(&mut gpu, &dbk, &dbv, &dpk, &dpv, bits).unwrap();
+            assert_eq!(got.checksum, expected.checksum, "bits={bits}");
+            assert_eq!(got.matches, expected.matches, "bits={bits}");
+        }
+    }
+
+    /// Build keys sharing their low bits (stride 64) collapse every build
+    /// row into partition 0 at bits <= 6: the shared-memory table of that
+    /// one partition holds the whole build side, and the partition-local
+    /// hash — which keys on the bits *above* the radix — must still spread
+    /// the chains.
+    #[test]
+    fn clustered_build_keys_collapse_into_one_partition() {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let bk: Vec<i32> = (0..1_500).map(|i| i * 64).collect();
+        let bv: Vec<i32> = (0..1_500).collect();
+        let mut x = 5u64;
+        let (pk, pv): (Vec<i32>, Vec<i32>) = (0..20_000)
+            .map(|i| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let base = ((x >> 33) as usize % 1_500) as i32 * 64;
+                // Half hit, half miss by one.
+                (base + ((x >> 17) & 1) as i32, i as i32)
+            })
+            .unzip();
+        let dbk = gpu.alloc_from(&bk);
+        let dbv = gpu.alloc_from(&bv);
+        let dpk = gpu.alloc_from(&pk);
+        let dpv = gpu.alloc_from(&pv);
+        let (ht, _) = DeviceHashTable::build(
+            &mut gpu,
+            &dbk,
+            &dbv,
+            slots_for_fill_rate(bk.len(), 0.5),
+            HashScheme::Mult,
+        );
+        let (expected, _) = hash_join_sum(&mut gpu, &dpk, &dpv, &ht);
+        let (got, _) = radix_join_sum(&mut gpu, &dbk, &dbv, &dpk, &dpv, 6).unwrap();
+        assert_eq!(got.checksum, expected.checksum);
+        assert_eq!(got.matches, expected.matches);
+        assert!(expected.matches > 0 && expected.matches < pk.len());
+    }
 }

@@ -31,10 +31,16 @@
 //! Kernels run on [`crystal_gpu_sim::Gpu`], which executes them functionally
 //! (real results) while accounting memory traffic for the paper's timing
 //! model; see that crate's docs for the simulation argument.
+//!
+//! [`selvec`] is the CPU-side counterpart: selection-vector kernels (init /
+//! refine / probe / compact) that `crystal-ssb`'s morsel-driven executor
+//! composes into full star queries, mirroring how the GPU engine composes
+//! the block-wide primitives.
 
 pub mod hash;
 pub mod kernels;
 pub mod primitives;
+pub mod selvec;
 pub mod tile;
 
 pub use hash::DeviceHashTable;

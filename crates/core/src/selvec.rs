@@ -1,0 +1,219 @@
+//! Selection-vector kernels for vector-at-a-time CPU pipelines.
+//!
+//! These are the CPU-side single entry points mirroring the Table-1 block
+//! primitives: a pipeline keeps one vector-sized array of surviving row
+//! ids (the *selection vector*) and each stage rewrites it in place —
+//! predicates compact it branch-free (the Section 3.2 Polychroniou style),
+//! probes compact it through a lookup while emitting per-row payload codes,
+//! and [`sel_compact`] re-aligns payload columns carried from earlier
+//! stages. `crystal-ssb`'s morsel-driven executor composes them into full
+//! star queries the same way the GPU engine composes the block-wide
+//! primitives.
+//!
+//! All kernels operate on plain slices so they are usable from any engine
+//! (and testable without a device); none allocates.
+
+/// Fills `sel` with the identity selection `start..end`. Returns the
+/// count (`end - start`).
+#[inline]
+pub fn sel_init(start: usize, end: usize, sel: &mut [u32]) -> usize {
+    let count = end - start;
+    debug_assert!(count <= sel.len());
+    for (k, row) in (start..end).enumerate() {
+        sel[k] = row as u32;
+    }
+    count
+}
+
+/// Initializes `sel` with the rows of `start..end` whose `col` value lies
+/// in `lo..=hi`, branch-free (the store always happens; the cursor advances
+/// only on a match). Returns the match count.
+#[inline]
+pub fn sel_between_init(
+    col: &[i32],
+    lo: i32,
+    hi: i32,
+    start: usize,
+    end: usize,
+    sel: &mut [u32],
+) -> usize {
+    debug_assert!(end - start <= sel.len());
+    let mut count = 0usize;
+    for row in start..end {
+        sel[count] = row as u32;
+        let v = col[row];
+        count += usize::from(lo <= v && v <= hi);
+    }
+    count
+}
+
+/// Refines an existing selection in place, keeping rows whose `col` value
+/// lies in `lo..=hi`. Returns the new count.
+#[inline]
+pub fn sel_between_refine(col: &[i32], lo: i32, hi: i32, sel: &mut [u32], count: usize) -> usize {
+    debug_assert!(count <= sel.len());
+    let mut kept = 0usize;
+    for k in 0..count {
+        let row = sel[k];
+        sel[kept] = row;
+        let v = col[row as usize];
+        kept += usize::from(lo <= v && v <= hi);
+    }
+    kept
+}
+
+/// Probes `lookup` with each selected row's `col` value, compacting `sel`
+/// to the hits; `codes[k]` receives the `k`-th surviving row's lookup
+/// payload. Returns the hit count. Use [`sel_probe_tracked`] when payload
+/// columns from earlier stages must be re-aligned afterwards.
+#[inline]
+pub fn sel_probe<F: Fn(i32) -> Option<i32>>(
+    col: &[i32],
+    lookup: F,
+    sel: &mut [u32],
+    count: usize,
+    codes: &mut [i32],
+) -> usize {
+    debug_assert!(count <= sel.len() && count <= codes.len());
+    let mut hits = 0usize;
+    for k in 0..count {
+        let row = sel[k];
+        if let Some(code) = lookup(col[row as usize]) {
+            sel[hits] = row;
+            codes[hits] = code;
+            hits += 1;
+        }
+    }
+    hits
+}
+
+/// [`sel_probe`] that additionally records, in `kept[k]`, the `k`-th
+/// surviving row's *position in the input selection* — strictly
+/// increasing, which is what lets [`sel_compact`] re-align payload
+/// columns produced by earlier stages in place. Worth its extra store
+/// only when such columns exist; otherwise use [`sel_probe`].
+#[inline]
+pub fn sel_probe_tracked<F: Fn(i32) -> Option<i32>>(
+    col: &[i32],
+    lookup: F,
+    sel: &mut [u32],
+    count: usize,
+    codes: &mut [i32],
+    kept: &mut [u32],
+) -> usize {
+    debug_assert!(count <= sel.len() && count <= codes.len() && count <= kept.len());
+    let mut hits = 0usize;
+    for k in 0..count {
+        let row = sel[k];
+        if let Some(code) = lookup(col[row as usize]) {
+            sel[hits] = row;
+            codes[hits] = code;
+            kept[hits] = k as u32;
+            hits += 1;
+        }
+    }
+    hits
+}
+
+/// Re-aligns a payload column after a probe compacted the selection:
+/// `values[k] = values[kept[k]]` for `k < count`. Safe in place because
+/// `kept` is strictly increasing (`kept[k] >= k`), so every read happens
+/// at or ahead of its write.
+#[inline]
+pub fn sel_compact(values: &mut [i32], kept: &[u32], count: usize) {
+    debug_assert!(count <= kept.len() && count <= values.len());
+    for k in 0..count {
+        debug_assert!(kept[k] as usize >= k, "kept positions must be increasing");
+        values[k] = values[kept[k] as usize];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_is_identity() {
+        let mut sel = [0u32; 8];
+        let n = sel_init(5, 11, &mut sel);
+        assert_eq!(n, 6);
+        assert_eq!(&sel[..6], &[5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn between_init_matches_filter() {
+        let col: Vec<i32> = vec![3, -1, 7, 5, 5, 0, 9];
+        let mut sel = [0u32; 7];
+        let n = sel_between_init(&col, 0, 5, 0, col.len(), &mut sel);
+        assert_eq!(&sel[..n], &[0, 3, 4, 5]);
+        // Sub-range start/end respected.
+        let n = sel_between_init(&col, 0, 5, 2, 6, &mut sel);
+        assert_eq!(&sel[..n], &[3, 4, 5]);
+        // Empty range.
+        assert_eq!(sel_between_init(&col, 0, 5, 4, 4, &mut sel), 0);
+    }
+
+    #[test]
+    fn refine_composes_predicates() {
+        let a: Vec<i32> = (0..100).collect();
+        let b: Vec<i32> = (0..100).map(|i| i % 10).collect();
+        let mut sel = [0u32; 100];
+        let n = sel_between_init(&a, 20, 59, 0, 100, &mut sel);
+        assert_eq!(n, 40);
+        let n = sel_between_refine(&b, 3, 4, &mut sel, n);
+        let expected: Vec<u32> = (20u32..60)
+            .filter(|i| (3..=4).contains(&(i % 10)))
+            .collect();
+        assert_eq!(&sel[..n], &expected[..]);
+        // Degenerate hi < lo keeps nothing.
+        let mut sel2 = [0u32; 100];
+        let m = sel_between_init(&a, 50, 40, 0, 100, &mut sel2);
+        assert_eq!(m, 0);
+    }
+
+    #[test]
+    fn probe_compacts_and_records_positions() {
+        let fk: Vec<i32> = vec![4, 2, 9, 2, 7, 0];
+        // Lookup: even keys hit with payload key/2, odd keys miss.
+        let lookup = |k: i32| (k % 2 == 0).then_some(k / 2);
+        let mut sel = [0u32, 1, 2, 3, 4, 5];
+        let mut codes = [0i32; 6];
+        let mut kept = [0u32; 6];
+        let n = sel_probe_tracked(&fk, lookup, &mut sel, 6, &mut codes, &mut kept);
+        assert_eq!(n, 4);
+        assert_eq!(&sel[..n], &[0, 1, 3, 5]);
+        assert_eq!(&codes[..n], &[2, 1, 1, 0]);
+        assert_eq!(&kept[..n], &[0, 1, 3, 5]);
+        // kept is strictly increasing by construction.
+        assert!(kept[..n].windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn compact_realigns_earlier_payloads() {
+        // A prior stage produced codes for positions 0..5; a probe kept
+        // positions [1, 2, 4].
+        let mut earlier = [10i32, 11, 12, 13, 14];
+        sel_compact(&mut earlier, &[1, 2, 4], 3);
+        assert_eq!(&earlier[..3], &[11, 12, 14]);
+    }
+
+    #[test]
+    fn full_pipeline_mini_query() {
+        // SELECT SUM(val) over rows where a in 2..=8, fk present in a
+        // lookup of even keys.
+        let a: Vec<i32> = vec![1, 2, 3, 9, 8, 4, 0, 6];
+        let fk: Vec<i32> = vec![0, 2, 5, 2, 4, 7, 6, 8];
+        let val: Vec<i32> = vec![100, 200, 300, 400, 500, 600, 700, 800];
+        let lookup = |k: i32| (k % 2 == 0).then_some(0);
+        let mut sel = [0u32; 8];
+        let mut codes = [0i32; 8];
+        let mut n = sel_between_init(&a, 2, 8, 0, 8, &mut sel);
+        n = sel_probe(&fk, lookup, &mut sel, n, &mut codes);
+        let got: i64 = sel[..n].iter().map(|&r| val[r as usize] as i64).sum();
+        let expected: i64 = (0..8)
+            .filter(|&i| (2..=8).contains(&a[i]) && fk[i] % 2 == 0)
+            .map(|i| val[i] as i64)
+            .sum();
+        assert_eq!(got, expected);
+    }
+}

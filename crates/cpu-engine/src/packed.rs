@@ -96,4 +96,29 @@ mod tests {
         assert!(select_gt_packed(&packed, 0, 2).is_empty());
         assert_eq!(sum_packed(&packed, 2), 0);
     }
+
+    /// Duplicate-heavy data: a two-value column (~95% zeros) and an
+    /// all-equal column. Selectivity collapses to all-or-nothing per
+    /// vector, which stresses the atomic-cursor reservation with empty
+    /// and full vectors rather than the uniform mix.
+    #[test]
+    fn duplicate_heavy_packed_select() {
+        let n = 40_000usize;
+        let values: Vec<i32> = (0..n).map(|i| i32::from(i % 20 == 0) * 3).collect();
+        let packed = PackedColumn::pack(&values, 3).unwrap();
+        let mut got = select_gt_packed(&packed, 0, 4);
+        got.sort_unstable();
+        let expected = vec![3i32; n.div_ceil(20)];
+        assert_eq!(got, expected);
+        assert_eq!(
+            sum_packed(&packed, 4),
+            values.iter().map(|&v| v as i64).sum::<i64>()
+        );
+
+        let constant = vec![5i32; n];
+        let packed = PackedColumn::pack(&constant, 4).unwrap();
+        assert_eq!(select_gt_packed(&packed, 4, 3).len(), n, "all selected");
+        assert!(select_gt_packed(&packed, 5, 3).is_empty(), "none selected");
+        assert_eq!(sum_packed(&packed, 3), 5 * n as i64);
+    }
 }

@@ -184,4 +184,84 @@ mod tests {
             radix_join_sum(&bk, &bv, &pk, &pv, 5, 4)
         );
     }
+
+    /// Oracle: the join sum computed row-at-a-time with a std HashMap.
+    fn oracle_sum(bk: &[i32], bv: &[i32], pk: &[i32], pv: &[i32]) -> i64 {
+        let m: std::collections::HashMap<i32, i32> =
+            bk.iter().copied().zip(bv.iter().copied()).collect();
+        pk.iter()
+            .zip(pv)
+            .filter_map(|(k, &v)| m.get(k).map(|&b| b as i64 + v as i64))
+            .fold(0i64, i64::wrapping_add)
+    }
+
+    /// 90% of probes hit one hot key: one partition's probe side is ~90%
+    /// of the input while its build side is a single row. Uniform-key
+    /// tests never stress this imbalance.
+    #[test]
+    fn skewed_probe_distribution_matches_oracle() {
+        let build_n = 4_096usize;
+        let bk: Vec<i32> = (0..build_n as i32).collect();
+        let bv: Vec<i32> = bk.iter().map(|k| k.wrapping_mul(13)).collect();
+        let mut x = 7u64;
+        let (pk, pv): (Vec<i32>, Vec<i32>) = (0..60_000)
+            .map(|i| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let hot = (x >> 60) < 15; // ~90%
+                let k = if hot {
+                    42
+                } else {
+                    ((x >> 33) as usize % build_n) as i32
+                };
+                (k, i as i32)
+            })
+            .unzip();
+        let expected = oracle_sum(&bk, &bv, &pk, &pv);
+        for (bits, threads) in [(1u32, 1usize), (4, 4), (8, 3)] {
+            assert_eq!(
+                radix_join_sum(&bk, &bv, &pk, &pv, bits, threads),
+                expected,
+                "bits={bits} threads={threads}"
+            );
+        }
+    }
+
+    /// Every probe is the same key (the degenerate duplicate-heavy case):
+    /// all 50k probes land in a single partition and chain on one slot.
+    #[test]
+    fn all_duplicate_probe_keys() {
+        let bk: Vec<i32> = (0..1_000).collect();
+        let bv: Vec<i32> = bk.iter().map(|k| k + 5).collect();
+        let pk = vec![77i32; 50_000];
+        let pv: Vec<i32> = (0..50_000).collect();
+        let expected = oracle_sum(&bk, &bv, &pk, &pv);
+        assert_eq!(radix_join_sum(&bk, &bv, &pk, &pv, 6, 4), expected);
+    }
+
+    /// Build keys sharing their low bits (stride 2^8) collapse into a
+    /// single radix partition at bits <= 8 — the partitioning degenerates
+    /// while the join must still be correct, and the partition-local hash
+    /// (which uses the bits *above* the radix) must not collapse too.
+    #[test]
+    fn clustered_build_keys_skew_partitions() {
+        let bk: Vec<i32> = (0..2_000).map(|i| i * 256).collect();
+        let bv: Vec<i32> = (0..2_000).collect();
+        let mut x = 3u64;
+        let (pk, pv): (Vec<i32>, Vec<i32>) = (0..40_000)
+            .map(|i| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                // Half the probes hit (aligned), half miss (offset by 1).
+                let base = ((x >> 33) as usize % 2_000) as i32 * 256;
+                (base + ((x >> 13) & 1) as i32, i as i32)
+            })
+            .unzip();
+        let expected = oracle_sum(&bk, &bv, &pk, &pv);
+        for bits in [2u32, 8, 12] {
+            assert_eq!(
+                radix_join_sum(&bk, &bv, &pk, &pv, bits, 4),
+                expected,
+                "bits={bits}"
+            );
+        }
+    }
 }

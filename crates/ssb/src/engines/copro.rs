@@ -9,11 +9,14 @@
 
 use crystal_gpu_sim::pcie::{coprocessor_time, CoprocessorTime};
 use crystal_gpu_sim::Gpu;
-use crystal_hardware::PcieSpec;
+use crystal_hardware::{CpuSpec, PcieSpec};
+use crystal_models::ssb::coprocessor_bounds;
 
 use crate::data::SsbData;
 use crate::engines::gpu::{self, GpuRun};
+use crate::exec::{self, PipelineMode};
 use crate::plan::StarQuery;
+use crate::QueryResult;
 
 /// Outcome of a coprocessor-model execution.
 pub struct CoproRun {
@@ -56,11 +59,96 @@ pub fn execute_scaled(
     }
 }
 
+/// Where a query runs under cost-based placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Ship the referenced fact columns over PCIe and execute on the GPU.
+    Coprocessor,
+    /// Keep the query on the host's morsel-driven CPU executor.
+    Host,
+}
+
+/// A placement decision with the Section 3.1 cost estimates behind it
+/// (seconds; lower bound for the coprocessor, scan bound for the host).
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementChoice {
+    pub placement: Placement,
+    pub coprocessor_secs: f64,
+    pub host_secs: f64,
+}
+
+/// Routes a query through the `crystal-models` Section 3.1 bounds: the
+/// coprocessor can never finish before its PCIe transfer
+/// (`bytes / B_pcie`), while the host CPU is bounded below by streaming
+/// the same columns from DRAM (`bytes / B_cpu`). Since PCIe bandwidth is
+/// far below DRAM bandwidth, the model routes every star query to the
+/// host — which is exactly the paper's conclusion ("a GPU-based system
+/// fully utilizing the CPU will always be superior to a coprocessor
+/// design"); the decision is computed, not hard-coded, so a future
+/// interconnect spec (e.g. NVLink-class `PcieSpec`) can flip it.
+pub fn choose_placement(
+    d: &SsbData,
+    q: &StarQuery,
+    cpu: &CpuSpec,
+    pcie: &PcieSpec,
+) -> PlacementChoice {
+    let bytes = q.fact_columns().len() * 4 * d.lineorder.rows();
+    let (coprocessor_secs, host_secs) = coprocessor_bounds(bytes, cpu, pcie);
+    PlacementChoice {
+        placement: if coprocessor_secs < host_secs {
+            Placement::Coprocessor
+        } else {
+            Placement::Host
+        },
+        coprocessor_secs,
+        host_secs,
+    }
+}
+
+/// Outcome of a placement-routed execution.
+pub struct PlacedRun {
+    pub choice: PlacementChoice,
+    pub result: QueryResult,
+    /// Present when the query actually ran in the coprocessor model.
+    pub copro: Option<CoproRun>,
+}
+
+/// Executes a query wherever [`choose_placement`] routes it: the morsel-
+/// driven CPU executor on the host, or the PCIe-shipped GPU path.
+pub fn execute_placed(
+    gpu: &mut Gpu,
+    pcie: &PcieSpec,
+    cpu: &CpuSpec,
+    d: &SsbData,
+    q: &StarQuery,
+    threads: usize,
+) -> PlacedRun {
+    let choice = choose_placement(d, q, cpu, pcie);
+    match choice.placement {
+        Placement::Host => {
+            let (result, _) = exec::execute(d, q, threads, PipelineMode::Vectorized);
+            PlacedRun {
+                choice,
+                result,
+                copro: None,
+            }
+        }
+        Placement::Coprocessor => {
+            let run = execute(gpu, pcie, d, q);
+            PlacedRun {
+                choice,
+                result: run.gpu_run.result.clone(),
+                copro: Some(run),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::queries::{query, QueryId};
-    use crystal_hardware::{nvidia_v100, pcie_gen3};
+    use crate::queries::{all_queries, query, QueryId};
+    use crystal_hardware::{intel_i7_6900, nvidia_v100, pcie_gen3};
 
     #[test]
     fn coprocessor_queries_are_transfer_bound() {
@@ -74,5 +162,55 @@ mod tests {
         assert!(run.time.transfer > run.time.exec, "transfer must dominate");
         assert!((run.time.overlapped - run.time.transfer).abs() < 1e-12);
         assert_eq!(run.shipped_bytes, 4 * 4 * 6_000_000);
+    }
+
+    /// With PCIe Gen3 below DRAM bandwidth, the cost model routes every
+    /// query to the host — Section 3.1's conclusion, derived not assumed.
+    #[test]
+    fn placement_routes_to_host_over_pcie_gen3() {
+        let d = SsbData::generate_scaled(1, 0.002, 7);
+        let cpu = intel_i7_6900();
+        let pcie = pcie_gen3();
+        for q in all_queries(&d) {
+            let c = choose_placement(&d, &q, &cpu, &pcie);
+            assert_eq!(c.placement, Placement::Host, "{}", q.name);
+            assert!(c.coprocessor_secs > c.host_secs, "{}", q.name);
+        }
+    }
+
+    /// A hypothetical interconnect faster than DRAM flips the decision —
+    /// the routing is genuinely cost-based.
+    #[test]
+    fn placement_flips_with_a_fast_interconnect() {
+        let d = SsbData::generate_scaled(1, 0.002, 7);
+        let cpu = intel_i7_6900();
+        let mut fast = pcie_gen3();
+        fast.bandwidth = cpu.read_bw * 4.0;
+        let q = query(&d, QueryId::new(1, 1));
+        let c = choose_placement(&d, &q, &cpu, &fast);
+        assert_eq!(c.placement, Placement::Coprocessor);
+    }
+
+    /// Both placement targets compute the same answer as the oracle.
+    #[test]
+    fn placed_execution_matches_reference_either_way() {
+        use crate::engines::reference;
+        let d = SsbData::generate_scaled(1, 0.004, 11);
+        let mut gpu = Gpu::new(nvidia_v100());
+        let cpu = intel_i7_6900();
+        let pcie = pcie_gen3();
+        let mut fast = pcie_gen3();
+        fast.bandwidth = cpu.read_bw * 4.0;
+        for q in all_queries(&d).into_iter().take(4) {
+            let expected = reference::execute(&d, &q);
+            let host = execute_placed(&mut gpu, &pcie, &cpu, &d, &q, 4);
+            assert_eq!(host.choice.placement, Placement::Host);
+            assert!(host.copro.is_none());
+            assert_eq!(host.result, expected, "{} host placement", q.name);
+            let dev = execute_placed(&mut gpu, &fast, &cpu, &d, &q, 4);
+            assert_eq!(dev.choice.placement, Placement::Coprocessor);
+            assert!(dev.copro.is_some());
+            assert_eq!(dev.result, expected, "{} coprocessor placement", q.name);
+        }
     }
 }

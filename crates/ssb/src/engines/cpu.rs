@@ -1,15 +1,21 @@
 //! Standalone CPU engine: the paper's "Standalone (CPU)".
 //!
 //! A fused, vectorized pipeline in the style of the paper's CPU
-//! implementations (Section 5.2): the fact table is range-partitioned
-//! across cores; each core processes 1024-row vectors. Within a vector the
-//! stages run Polychroniou-style — predicates produce a selection vector
-//! with branch-free compaction, each join probes its perfect-hash lookup
-//! for the *surviving* rows only (compacting again), and the aggregate
-//! updates a thread-local dense group table. Thread tables merge at the
+//! implementations (Section 5.2): morsel-driven scheduling with each
+//! worker processing 1024-row vectors. Within a vector the stages run
+//! Polychroniou-style — predicates produce a selection vector with
+//! branch-free compaction, each join probes its perfect-hash lookup for
+//! the *surviving* rows only (compacting again), and the aggregate
+//! updates a thread-local dense group table. Worker tables merge at the
 //! end. Nothing is materialized beyond the current vector, which is the
 //! fused-pipeline advantage over the operator-at-a-time engine
 //! ([`super::monet`]).
+//!
+//! [`execute`] lowers onto the shared morsel-driven executor
+//! ([`crate::exec`]) in [`PipelineMode::Vectorized`]; the pre-executor
+//! static-partition implementation survives as [`execute_scoped`] so the
+//! `ssb_parallel` bench (and the scorecard) can compare the two schedules
+//! on identical pipelines.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -17,11 +23,20 @@ use crystal_cpu::exec::{scoped_map, VECTOR_SIZE};
 
 use crate::data::SsbData;
 use crate::engines::{groups_to_result, DimLookup, QueryTrace, StageTrace};
+use crate::exec::{self, PipelineMode};
 use crate::plan::StarQuery;
 use crate::QueryResult;
 
 /// Executes a query; returns its result and trace.
 pub fn execute(d: &SsbData, q: &StarQuery, threads: usize) -> (QueryResult, QueryTrace) {
+    exec::execute(d, q, threads, PipelineMode::Vectorized)
+}
+
+/// The pre-morsel scheduling: fact table range-partitioned across scoped
+/// threads, one static partition per core. Kept as the baseline the
+/// morsel-driven path is benchmarked against; results and traces are
+/// identical, only the work distribution differs.
+pub fn execute_scoped(d: &SsbData, q: &StarQuery, threads: usize) -> (QueryResult, QueryTrace) {
     let lookups: Vec<DimLookup> = q.joins.iter().map(|j| DimLookup::build(d, j)).collect();
     let n = d.lineorder.rows();
     let domains: Vec<usize> = q.group_attrs().iter().map(|a| a.domain()).collect();
@@ -194,6 +209,29 @@ mod tests {
             let (a, _) = execute(&d, &q, 1);
             let (b, _) = execute(&d, &q, 4);
             assert_eq!(a, b);
+        }
+    }
+
+    /// The morsel-driven path and the legacy static-partition path are
+    /// observationally identical: same results, same trace counts.
+    #[test]
+    fn morsel_path_equals_scoped_path() {
+        let d = SsbData::generate_scaled(1, 0.003, 19);
+        for q in all_queries(&d) {
+            let (morsel_r, morsel_t) = execute(&d, &q, 4);
+            let (scoped_r, scoped_t) = execute_scoped(&d, &q, 4);
+            assert_eq!(morsel_r, scoped_r, "{} result diverged", q.name);
+            assert_eq!(
+                morsel_t.pred_survivors, scoped_t.pred_survivors,
+                "{}",
+                q.name
+            );
+            assert_eq!(morsel_t.result_rows, scoped_t.result_rows, "{}", q.name);
+            for (a, b) in morsel_t.stages.iter().zip(&scoped_t.stages) {
+                assert_eq!(a.probes, b.probes, "{}", q.name);
+                assert_eq!(a.hits, b.hits, "{}", q.name);
+                assert_eq!(a.ht_bytes, b.ht_bytes, "{}", q.name);
+            }
         }
     }
 }

@@ -3,62 +3,25 @@
 //! Hyper (Neumann) compiles each query into a tight loop that pushes one
 //! tuple at a time through predicates, probes and the aggregate update,
 //! with branches for every filter. This engine reproduces that execution
-//! style: one fused row loop per thread, early-exit branches, no selection
+//! style: one fused row loop per worker, early-exit branches, no selection
 //! vectors. The paper finds its own vectorized standalone CPU engine
 //! "on average 1.17x better" than Hyper — the gap comes from exactly the
 //! vectorization opportunities a tuple-at-a-time loop leaves on the table
 //! (Section 5.2).
-
-use crystal_cpu::exec::scoped_map;
+//!
+//! Lowers onto the shared morsel-driven executor ([`crate::exec`]) in
+//! [`PipelineMode::TupleAtATime`] — Hyper itself pioneered morsel-driven
+//! scheduling (Leis et al.), so stealing morsels while pushing tuples is
+//! the faithful reproduction of that system's execution model.
 
 use crate::data::SsbData;
-use crate::engines::{groups_to_result, DimLookup};
+use crate::exec::{self, PipelineMode};
 use crate::plan::StarQuery;
 use crate::QueryResult;
 
 /// Executes a query with tuple-at-a-time pipelines.
 pub fn execute(d: &SsbData, q: &StarQuery, threads: usize) -> QueryResult {
-    let lookups: Vec<DimLookup> = q.joins.iter().map(|j| DimLookup::build(d, j)).collect();
-    let n = d.lineorder.rows();
-    let domains: Vec<usize> = q.group_attrs().iter().map(|a| a.domain()).collect();
-    let domain = q.group_domain();
-    let carries: Vec<bool> = q.joins.iter().map(|j| j.group_attr.is_some()).collect();
-
-    let thread_tables = scoped_map(n, threads, |range| {
-        let mut agg = vec![0i64; domain];
-        let mut codes = vec![0i32; q.joins.len()];
-        'rows: for row in range {
-            for p in &q.fact_preds {
-                if !p.matches(p.col.data(d)[row]) {
-                    continue 'rows;
-                }
-            }
-            for (j, lk) in lookups.iter().enumerate() {
-                match lk.get(q.joins[j].fact_fk.data(d)[row]) {
-                    Some(code) => codes[j] = code,
-                    None => continue 'rows,
-                }
-            }
-            let mut idx = 0usize;
-            let mut di = 0usize;
-            for (j, &carried) in carries.iter().enumerate() {
-                if carried {
-                    idx = idx * domains[di] + codes[j] as usize;
-                    di += 1;
-                }
-            }
-            agg[idx] += q.agg.eval(d, row);
-        }
-        agg
-    });
-
-    let mut agg = vec![0i64; domain];
-    for t in thread_tables {
-        for (a, v) in agg.iter_mut().zip(t) {
-            *a += v;
-        }
-    }
-    groups_to_result(q, &agg)
+    exec::execute(d, q, threads, PipelineMode::TupleAtATime).0
 }
 
 #[cfg(test)]

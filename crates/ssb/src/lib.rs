@@ -22,9 +22,18 @@
 //! [`model`] converts execution traces into paper-scale (SF-20) runtime
 //! predictions using the Section 5.3 methodology, and [`optimizer`]
 //! derives the paper's hand-picked join orders from that cost model.
+//!
+//! [`exec`] is the morsel-driven parallel executor the CPU-side engines
+//! lower onto: it evaluates *any* [`plan::StarQuery`] — including the
+//! randomized plans from [`arbitrary`] — through a shared
+//! selection-vector pipeline with work-stealing morsel scheduling. The
+//! randomized cross-engine differential suite
+//! (`tests/differential_random.rs`) rests on those two modules.
 
+pub mod arbitrary;
 pub mod data;
 pub mod engines;
+pub mod exec;
 pub mod model;
 pub mod optimizer;
 pub mod plan;

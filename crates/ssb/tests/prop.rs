@@ -1,8 +1,10 @@
-//! Property tests for the SSB generator, plans and engines.
+//! Property tests for the SSB generator, plans, engines and optimizer.
 
 use proptest::prelude::*;
 
+use crystal_ssb::arbitrary::random_star_query;
 use crystal_ssb::engines::{cpu, hyper, reference};
+use crystal_ssb::optimizer::{join_selectivity, optimize_join_order};
 use crystal_ssb::queries::{all_queries, query, QueryId};
 use crystal_ssb::SsbData;
 
@@ -67,6 +69,51 @@ proptest! {
                 let f = trace.selectivity_before_stage(i.min(trace.stages.len()));
                 prop_assert!((0.0..=1.0).contains(&f));
             }
+        }
+    }
+
+    /// `optimizer::join_selectivity` is a fraction in [0, 1] for every
+    /// join of every random star query, on arbitrary datasets.
+    #[test]
+    fn join_selectivity_is_a_fraction(seed in any::<u64>()) {
+        let d = SsbData::generate_scaled(1, 0.0005, seed);
+        for i in 0..16u64 {
+            let q = random_star_query(&d, seed.wrapping_add(i));
+            for j in &q.joins {
+                let s = join_selectivity(&d, j);
+                prop_assert!((0.0..=1.0).contains(&s), "seed {} sel {}", seed.wrapping_add(i), s);
+                prop_assert!(s.is_finite());
+                // Unfiltered joins keep every dimension row.
+                if j.filter.is_none() {
+                    prop_assert_eq!(s, 1.0);
+                }
+            }
+        }
+    }
+
+    /// The greedy most-selective-first reorder never changes what a query
+    /// computes on random `StarQuery`s: the reordered plan's oracle result
+    /// matches its engine results, and checksum/row-count are invariant
+    /// against the declared order (group-key *column* order legitimately
+    /// permutes with the joins).
+    #[test]
+    fn greedy_reorder_preserves_results(seed in any::<u64>()) {
+        let d = SsbData::generate_scaled(1, 0.001, seed);
+        for i in 0..6u64 {
+            let qseed = seed.wrapping_add(i);
+            let q = random_star_query(&d, qseed);
+            let declared = reference::execute(&d, &q);
+            let mut opt = q.clone();
+            let sels = optimize_join_order(&d, &mut opt);
+            prop_assert!(sels.windows(2).all(|w| w[0] <= w[1]), "seed {qseed}: not sorted");
+            prop_assert_eq!(sels.len(), opt.joins.len());
+            let expected = reference::execute(&d, &opt);
+            prop_assert_eq!(expected.checksum(), declared.checksum(), "seed {qseed}");
+            prop_assert_eq!(expected.rows(), declared.rows(), "seed {qseed}");
+            let (got, _) = cpu::execute(&d, &opt, 3);
+            prop_assert_eq!(&got, &expected, "seed {qseed}: cpu on reordered plan");
+            let got_hyper = hyper::execute(&d, &opt, 3);
+            prop_assert_eq!(&got_hyper, &expected, "seed {qseed}: hyper on reordered plan");
         }
     }
 }
