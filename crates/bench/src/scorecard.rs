@@ -6,9 +6,10 @@
 //! can gate on it.
 
 use crystal_gpu_sim::Gpu;
-use crystal_hardware::{bandwidth_ratio, intel_i7_6900, nvidia_v100, MIB};
+use crystal_hardware::{bandwidth_ratio, intel_i7_6900, nvidia_v100, pcie_gen3, MIB};
 use crystal_models as models;
-use crystal_ssb::engines::cpu as cpu_engine;
+use crystal_ssb::encoding::{random_encodings, EncodedFact, FactEncodings};
+use crystal_ssb::engines::{copro, cpu as cpu_engine, gpu as gpu_engine};
 use crystal_ssb::queries::all_queries;
 use crystal_ssb::{model as qmodel, SsbData};
 
@@ -183,6 +184,91 @@ pub fn scorecard(cfg: &Config) -> bool {
             .count();
         checks.push(Check {
             name: "random differential agreement",
+            paper: 1.0,
+            reproduced: agree as f64 / total as f64,
+            lo: 1.0,
+            hi: 1.0,
+        });
+    }
+
+    // Section 6 (compression): the modeled placement flip ratio — the
+    // compression ratio past which the packed PCIe transfer undercuts the
+    // host's scalar-unpack scan.
+    let pcie = pcie_gen3();
+    checks.push(Check {
+        name: "compression flip ratio (modeled ~1.6)",
+        paper: 1.6,
+        reproduced: models::ssb::placement_flip_ratio(&cpu, &pcie),
+        lo: 1.2,
+        hi: 2.2,
+    });
+
+    // Compression flips q1.1's routing: plain data stays host-side over
+    // PCIe Gen3, min-width packing moves it to the coprocessor.
+    {
+        let dd = SsbData::generate_scaled(1, 0.002, 20_260_730);
+        let q11 = crystal_ssb::queries::query(&dd, crystal_ssb::QueryId::new(1, 1));
+        let enc = FactEncodings::packed_min(&dd);
+        let plain = copro::choose_placement(&dd, &q11, &cpu, &pcie);
+        let packed = copro::choose_placement_encoded(&dd, &q11, &enc, &cpu, &pcie);
+        let flipped = plain.placement == copro::Placement::Host
+            && packed.placement == copro::Placement::Coprocessor;
+        checks.push(Check {
+            name: "q1.1 placement flips under packing",
+            paper: 1.0,
+            reproduced: f64::from(u8::from(flipped)),
+            lo: 1.0,
+            hi: 1.0,
+        });
+
+        // Compressed execution holds throughput on the scan-dominated
+        // q1.1: the simulated GPU runs the packed table no slower than
+        // the plain one (it reads a fraction of the bytes).
+        let fact = EncodedFact::encode(&dd, &enc);
+        let mut g = Gpu::new(nvidia_v100());
+        let plain_run = gpu_engine::execute(&mut g, &dd, &q11);
+        g.reset_l2();
+        let packed_run = gpu_engine::execute_encoded(&mut g, &dd, &fact, &q11);
+        assert_eq!(plain_run.result, packed_run.result);
+        // At this sample size kernel-launch overhead flattens the time
+        // ratio toward 1; the claim is "no slower" plus the byte shrink.
+        checks.push(Check {
+            name: "compressed q1.1 GPU speedup (>= par)",
+            paper: 1.0,
+            reproduced: plain_run.sim_secs() / packed_run.sim_secs(),
+            lo: 1.0,
+            hi: 5.0,
+        });
+        let read =
+            |run: &gpu_engine::GpuRun| run.reports.last().unwrap().stats.global_read_bytes as f64;
+        checks.push(Check {
+            name: "compressed q1.1 HBM read shrink (~2.3x)",
+            paper: 2.3,
+            reproduced: read(&plain_run) / read(&packed_run),
+            lo: 1.5,
+            hi: 3.5,
+        });
+
+        // Randomized compressed differential: random queries over random
+        // per-column encodings agree with the plain oracle exactly.
+        let total = 48u64;
+        let agree = (0..total)
+            .filter(|&i| {
+                let q = crystal_ssb::arbitrary::random_star_query(&dd, 20_260_730 + i);
+                let fact = EncodedFact::encode(&dd, &random_encodings(&dd, 20_260_730 ^ i));
+                let expected = crystal_ssb::engines::reference::execute(&dd, &q);
+                let (got, _) = crystal_ssb::exec::execute_encoded(
+                    &dd,
+                    &fact,
+                    &q,
+                    cfg.threads,
+                    crystal_ssb::exec::PipelineMode::Vectorized,
+                );
+                got == expected
+            })
+            .count();
+        checks.push(Check {
+            name: "compressed differential agreement",
             paper: 1.0,
             reproduced: agree as f64 / total as f64,
             lo: 1.0,

@@ -13,7 +13,7 @@ use crystal_gpu_sim::exec::{BlockCtx, LaunchConfig};
 use crystal_gpu_sim::mem::DeviceBuffer;
 use crystal_gpu_sim::stats::KernelReport;
 use crystal_gpu_sim::Gpu;
-use crystal_storage::bitpack::{unpack_at, PackedColumn};
+use crystal_storage::bitpack::{PackedColumn, PackedView};
 
 use crate::primitives::{block_pred, block_scan, block_shuffle, block_store};
 use crate::tile::Tile;
@@ -34,6 +34,13 @@ impl DevicePackedColumn {
             bits: col.bits(),
             len: col.len(),
         }
+    }
+
+    /// A register-unpack view over the device word stream (the same
+    /// shared bit-math the host kernels use).
+    #[inline]
+    fn view(&self) -> PackedView<'_> {
+        PackedView::from_raw(self.words.as_slice(), self.bits, self.len)
     }
 
     pub fn len(&self) -> usize {
@@ -71,8 +78,9 @@ pub fn block_load_packed(
     out: &mut Tile<i32>,
 ) {
     debug_assert!(offset + len <= src.len);
+    let view = src.view();
     for i in 0..len {
-        out.storage_mut()[i] = unpack_at(src.words.as_slice(), src.bits, offset + i);
+        out.storage_mut()[i] = view.get(offset + i);
     }
     out.set_len(len);
     // The tile's packed footprint, rounded out to whole words.
@@ -81,6 +89,57 @@ pub fn block_load_packed(
     let bytes = (last_bit.div_ceil(64) - first_bit / 64) * 8;
     ctx.global_read_coalesced(bytes);
     ctx.compute(2 * len);
+}
+
+/// BlockLoadSelPacked: the packed counterpart of `BlockLoadSel` — loads
+/// and unpacks only the values of the tile `[offset, offset+len)` whose
+/// bitmap entry is set, touching only the cache lines that hold their
+/// packed words. Because a line holds `line*8/bits` packed values (vs
+/// `line/4` plain ones), selective loads over packed columns touch
+/// proportionally fewer lines at the same selectivity.
+///
+/// Unmatched positions of `out` hold 0; the tile length is the full tile
+/// so positions correspond to the bitmap.
+#[inline]
+pub fn block_load_sel_packed(
+    ctx: &mut BlockCtx<'_>,
+    src: &DevicePackedColumn,
+    offset: usize,
+    bitmap: &Tile<bool>,
+    out: &mut Tile<i32>,
+) {
+    let len = bitmap.len();
+    debug_assert!(offset + len <= src.len);
+    debug_assert!(len <= out.capacity());
+    let view = src.view();
+    let line = ctx.line_size();
+    let bits = src.bits as usize;
+    let mut lines = 0usize;
+    let mut last_line = u64::MAX;
+    let mut matched = 0usize;
+    for (i, &m) in bitmap.as_slice().iter().enumerate() {
+        if !m {
+            out.storage_mut()[i] = 0;
+            continue;
+        }
+        out.storage_mut()[i] = view.get(offset + i);
+        matched += 1;
+        // The value occupies one word, or two when it straddles a
+        // boundary; count the distinct cache lines those words live on
+        // (indices increase, so tracking the last line suffices).
+        let first_word = (offset + i) * bits / 64;
+        let last_word = ((offset + i + 1) * bits - 1) / 64;
+        for w in first_word..=last_word {
+            let l = src.words.addr_of(w) / line as u64;
+            if l != last_line {
+                lines += 1;
+                last_line = l;
+            }
+        }
+    }
+    out.set_len(len);
+    ctx.global_read_coalesced(lines * line);
+    ctx.compute(2 * matched);
 }
 
 /// Selection over a packed column: `SELECT v FROM r WHERE v > x`, output
@@ -218,6 +277,48 @@ mod tests {
         assert_eq!(all.len(), n);
         let (none, _) = select_gt_packed(&mut gpu, &dev, 9);
         assert!(none.is_empty());
+    }
+
+    /// BlockLoadSelPacked unpacks exactly the selected values and touches
+    /// fewer cache lines than the plain selective load at the same
+    /// selectivity (a line holds `line*8/bits` packed values).
+    #[test]
+    fn selective_packed_load_matches_and_reads_fewer_lines() {
+        use crate::primitives::block_load_sel;
+        use crystal_gpu_sim::exec::LaunchConfig;
+
+        let mut gpu = Gpu::new(nvidia_v100());
+        let n = 4096usize;
+        let (values, packed) = packed_column(n, 8);
+        let dev = DevicePackedColumn::upload(&mut gpu, &packed);
+        let plain = gpu.alloc_from(&values);
+
+        // Matches at stride 16: every plain line is touched, only every
+        // fourth packed line is.
+        let mut bitmap: Tile<bool> = Tile::new(n);
+        for i in 0..n {
+            bitmap.push(i % 16 == 0);
+        }
+        let mut out_packed: Tile<i32> = Tile::new(n);
+        let mut out_plain: Tile<i32> = Tile::new(n);
+        let cfg = LaunchConfig::for_items(n, n, 1);
+        let rp = gpu.launch("sel_packed", cfg, |ctx| {
+            if ctx.block_idx == 0 {
+                block_load_sel_packed(ctx, &dev, 0, &bitmap, &mut out_packed);
+            }
+        });
+        let rq = gpu.launch("sel_plain", cfg, |ctx| {
+            if ctx.block_idx == 0 {
+                block_load_sel(ctx, &plain, 0, &bitmap, &mut out_plain);
+            }
+        });
+        for i in 0..n {
+            let expect = if i % 16 == 0 { values[i] } else { 0 };
+            assert_eq!(out_packed.as_slice()[i], expect, "row {i}");
+            assert_eq!(out_packed.as_slice()[i], out_plain.as_slice()[i]);
+        }
+        let ratio = rq.stats.global_read_bytes as f64 / rp.stats.global_read_bytes as f64;
+        assert!((3.0..5.0).contains(&ratio), "line ratio {ratio}");
     }
 
     #[test]

@@ -10,8 +10,16 @@
 //! star queries the same way the GPU engine composes the block-wide
 //! primitives.
 //!
-//! All kernels operate on plain slices so they are usable from any engine
-//! (and testable without a device); none allocates.
+//! All kernels are generic over [`ColumnRead`], the shared read trait of
+//! `crystal_storage::encoding`: instantiated over a plain `[i32]` slice
+//! they compile to the original pointer loops, and instantiated over a
+//! [`crystal_storage::PackedView`] they become *fused unpack-and-compare*
+//! kernels — each value is unpacked in registers (shift/mask) immediately
+//! before its comparison or probe, so a bit-packed column is scanned
+//! without ever materializing the decompressed data. None allocates, and
+//! all are usable from any engine (and testable without a device).
+
+use crystal_storage::encoding::ColumnRead;
 
 /// Fills `sel` with the identity selection `start..end`. Returns the
 /// count (`end - start`).
@@ -27,10 +35,12 @@ pub fn sel_init(start: usize, end: usize, sel: &mut [u32]) -> usize {
 
 /// Initializes `sel` with the rows of `start..end` whose `col` value lies
 /// in `lo..=hi`, branch-free (the store always happens; the cursor advances
-/// only on a match). Returns the match count.
+/// only on a match). Returns the match count. Over a packed view this is
+/// the fused unpack-and-compare scan: unpack in registers, compare, never
+/// store the decompressed value.
 #[inline]
-pub fn sel_between_init(
-    col: &[i32],
+pub fn sel_between_init<C: ColumnRead + ?Sized>(
+    col: &C,
     lo: i32,
     hi: i32,
     start: usize,
@@ -41,7 +51,7 @@ pub fn sel_between_init(
     let mut count = 0usize;
     for row in start..end {
         sel[count] = row as u32;
-        let v = col[row];
+        let v = col.value(row);
         count += usize::from(lo <= v && v <= hi);
     }
     count
@@ -50,13 +60,19 @@ pub fn sel_between_init(
 /// Refines an existing selection in place, keeping rows whose `col` value
 /// lies in `lo..=hi`. Returns the new count.
 #[inline]
-pub fn sel_between_refine(col: &[i32], lo: i32, hi: i32, sel: &mut [u32], count: usize) -> usize {
+pub fn sel_between_refine<C: ColumnRead + ?Sized>(
+    col: &C,
+    lo: i32,
+    hi: i32,
+    sel: &mut [u32],
+    count: usize,
+) -> usize {
     debug_assert!(count <= sel.len());
     let mut kept = 0usize;
     for k in 0..count {
         let row = sel[k];
         sel[kept] = row;
-        let v = col[row as usize];
+        let v = col.value(row as usize);
         kept += usize::from(lo <= v && v <= hi);
     }
     kept
@@ -67,8 +83,8 @@ pub fn sel_between_refine(col: &[i32], lo: i32, hi: i32, sel: &mut [u32], count:
 /// payload. Returns the hit count. Use [`sel_probe_tracked`] when payload
 /// columns from earlier stages must be re-aligned afterwards.
 #[inline]
-pub fn sel_probe<F: Fn(i32) -> Option<i32>>(
-    col: &[i32],
+pub fn sel_probe<C: ColumnRead + ?Sized, F: Fn(i32) -> Option<i32>>(
+    col: &C,
     lookup: F,
     sel: &mut [u32],
     count: usize,
@@ -78,7 +94,7 @@ pub fn sel_probe<F: Fn(i32) -> Option<i32>>(
     let mut hits = 0usize;
     for k in 0..count {
         let row = sel[k];
-        if let Some(code) = lookup(col[row as usize]) {
+        if let Some(code) = lookup(col.value(row as usize)) {
             sel[hits] = row;
             codes[hits] = code;
             hits += 1;
@@ -93,8 +109,8 @@ pub fn sel_probe<F: Fn(i32) -> Option<i32>>(
 /// columns produced by earlier stages in place. Worth its extra store
 /// only when such columns exist; otherwise use [`sel_probe`].
 #[inline]
-pub fn sel_probe_tracked<F: Fn(i32) -> Option<i32>>(
-    col: &[i32],
+pub fn sel_probe_tracked<C: ColumnRead + ?Sized, F: Fn(i32) -> Option<i32>>(
+    col: &C,
     lookup: F,
     sel: &mut [u32],
     count: usize,
@@ -105,7 +121,7 @@ pub fn sel_probe_tracked<F: Fn(i32) -> Option<i32>>(
     let mut hits = 0usize;
     for k in 0..count {
         let row = sel[k];
-        if let Some(code) = lookup(col[row as usize]) {
+        if let Some(code) = lookup(col.value(row as usize)) {
             sel[hits] = row;
             codes[hits] = code;
             kept[hits] = k as u32;
@@ -144,13 +160,13 @@ mod tests {
     fn between_init_matches_filter() {
         let col: Vec<i32> = vec![3, -1, 7, 5, 5, 0, 9];
         let mut sel = [0u32; 7];
-        let n = sel_between_init(&col, 0, 5, 0, col.len(), &mut sel);
+        let n = sel_between_init(&col[..], 0, 5, 0, col.len(), &mut sel);
         assert_eq!(&sel[..n], &[0, 3, 4, 5]);
         // Sub-range start/end respected.
-        let n = sel_between_init(&col, 0, 5, 2, 6, &mut sel);
+        let n = sel_between_init(&col[..], 0, 5, 2, 6, &mut sel);
         assert_eq!(&sel[..n], &[3, 4, 5]);
         // Empty range.
-        assert_eq!(sel_between_init(&col, 0, 5, 4, 4, &mut sel), 0);
+        assert_eq!(sel_between_init(&col[..], 0, 5, 4, 4, &mut sel), 0);
     }
 
     #[test]
@@ -158,16 +174,16 @@ mod tests {
         let a: Vec<i32> = (0..100).collect();
         let b: Vec<i32> = (0..100).map(|i| i % 10).collect();
         let mut sel = [0u32; 100];
-        let n = sel_between_init(&a, 20, 59, 0, 100, &mut sel);
+        let n = sel_between_init(&a[..], 20, 59, 0, 100, &mut sel);
         assert_eq!(n, 40);
-        let n = sel_between_refine(&b, 3, 4, &mut sel, n);
+        let n = sel_between_refine(&b[..], 3, 4, &mut sel, n);
         let expected: Vec<u32> = (20u32..60)
             .filter(|i| (3..=4).contains(&(i % 10)))
             .collect();
         assert_eq!(&sel[..n], &expected[..]);
         // Degenerate hi < lo keeps nothing.
         let mut sel2 = [0u32; 100];
-        let m = sel_between_init(&a, 50, 40, 0, 100, &mut sel2);
+        let m = sel_between_init(&a[..], 50, 40, 0, 100, &mut sel2);
         assert_eq!(m, 0);
     }
 
@@ -179,7 +195,7 @@ mod tests {
         let mut sel = [0u32, 1, 2, 3, 4, 5];
         let mut codes = [0i32; 6];
         let mut kept = [0u32; 6];
-        let n = sel_probe_tracked(&fk, lookup, &mut sel, 6, &mut codes, &mut kept);
+        let n = sel_probe_tracked(&fk[..], lookup, &mut sel, 6, &mut codes, &mut kept);
         assert_eq!(n, 4);
         assert_eq!(&sel[..n], &[0, 1, 3, 5]);
         assert_eq!(&codes[..n], &[2, 1, 1, 0]);
@@ -197,6 +213,50 @@ mod tests {
         assert_eq!(&earlier[..3], &[11, 12, 14]);
     }
 
+    /// The same kernels over a packed view produce identical selections —
+    /// the fused unpack-and-compare path, across widths including the two
+    /// edges: bit-width 1 and bit-width 32 (the no-op pack).
+    #[test]
+    fn packed_columns_select_identically_to_plain() {
+        use crystal_storage::PackedColumn;
+        for bits in [1u32, 5, 13, 32] {
+            let domain = if bits >= 31 { i32::MAX } else { 1i32 << bits };
+            let col: Vec<i32> = (0..500)
+                .map(|i| ((i as i64 * 2654435761i64) % domain as i64) as i32)
+                .collect();
+            let packed = PackedColumn::pack(&col, bits).unwrap();
+            let view = packed.view();
+            let (lo, hi) = (domain / 4, domain / 2);
+            let mut sel_plain = [0u32; 500];
+            let mut sel_packed = [0u32; 500];
+            let np = sel_between_init(&col[..], lo, hi, 0, col.len(), &mut sel_plain);
+            let nk = sel_between_init(&view, lo, hi, 0, col.len(), &mut sel_packed);
+            assert_eq!(np, nk, "bits={bits}");
+            assert_eq!(&sel_plain[..np], &sel_packed[..nk], "bits={bits}");
+            // Refine + probe agree too.
+            let lookup = |k: i32| (k % 3 == 0).then_some(k);
+            let mut codes_a = [0i32; 500];
+            let mut codes_b = [0i32; 500];
+            let ha = sel_probe(&col[..], lookup, &mut sel_plain, np, &mut codes_a);
+            let hb = sel_probe(&view, lookup, &mut sel_packed, nk, &mut codes_b);
+            assert_eq!(ha, hb, "bits={bits}");
+            assert_eq!(&codes_a[..ha], &codes_b[..hb], "bits={bits}");
+        }
+    }
+
+    /// Bit-width 1: a boolean column packs 64 values per word and still
+    /// selects correctly through the fused path.
+    #[test]
+    fn bit_width_one_fused_select() {
+        use crystal_storage::PackedColumn;
+        let col: Vec<i32> = (0..300).map(|i| i32::from(i % 7 == 0)).collect();
+        let packed = PackedColumn::pack(&col, 1).unwrap();
+        let mut sel = [0u32; 300];
+        let n = sel_between_init(&packed.view(), 1, 1, 0, col.len(), &mut sel);
+        let expected: Vec<u32> = (0..300u32).filter(|i| i % 7 == 0).collect();
+        assert_eq!(&sel[..n], &expected[..]);
+    }
+
     #[test]
     fn full_pipeline_mini_query() {
         // SELECT SUM(val) over rows where a in 2..=8, fk present in a
@@ -207,8 +267,8 @@ mod tests {
         let lookup = |k: i32| (k % 2 == 0).then_some(0);
         let mut sel = [0u32; 8];
         let mut codes = [0i32; 8];
-        let mut n = sel_between_init(&a, 2, 8, 0, 8, &mut sel);
-        n = sel_probe(&fk, lookup, &mut sel, n, &mut codes);
+        let mut n = sel_between_init(&a[..], 2, 8, 0, 8, &mut sel);
+        n = sel_probe(&fk[..], lookup, &mut sel, n, &mut codes);
         let got: i64 = sel[..n].iter().map(|&r| val[r as usize] as i64).sum();
         let expected: i64 = (0..8)
             .filter(|&i| (2..=8).contains(&a[i]) && fk[i] % 2 == 0)

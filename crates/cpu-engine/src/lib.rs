@@ -20,6 +20,13 @@
 //! Wall-clock behaviour of these implementations is measured by the bench
 //! harness; the *paper-scale* CPU timings in the figures come from
 //! `crystal-models`, which models this hardware class analytically.
+//!
+//! [`packed`] holds the compressed-execution operators: fused
+//! unpack-and-compare scans generic over
+//! `crystal_storage::encoding::ColumnRead`, so plain and bit-packed
+//! columns share one implementation (Section 5.5's compression
+//! direction; the CPU side pays its unpack shifts on the scalar pipes,
+//! which is why compression helps the CPU less than the GPU).
 
 pub mod exec;
 pub mod join;

@@ -1,20 +1,33 @@
-//! CPU operators over bit-packed columns (the Section 5.5 compression
-//! extension's CPU half).
+//! CPU operators over bit-packed columns (the compression extension's
+//! CPU half).
 //!
 //! On a CPU the unpack shifts compete with the scan loop for the same
 //! scalar pipes, so compression buys much less than on a GPU — the
 //! asymmetry the paper predicts from the devices' compute-to-bandwidth
 //! ratios. `reproduce ablation-compression` measures both sides.
+//!
+//! There is deliberately **one** scan implementation here: the operators
+//! are generic over `crystal_storage::encoding::ColumnRead`, the same
+//! trait the selection-vector kernels and the morsel executor read
+//! through, so the plain and packed variants are two monomorphizations of
+//! the same fused loop rather than hand-maintained copies.
 
 use crystal_storage::bitpack::PackedColumn;
+use crystal_storage::encoding::ColumnRead;
 
 use crate::exec::{scoped_map, SendPtr, VECTOR_SIZE};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// `SELECT v FROM r WHERE v > x` over a packed column, producing plain
-/// 4-byte output (predicated inner loop, vector-at-a-time).
-pub fn select_gt_packed(col: &PackedColumn, v: i32, threads: usize) -> Vec<i32> {
-    let n = col.len();
+/// `SELECT v FROM r WHERE v > x` over any readable column, producing plain
+/// 4-byte output (predicated inner loop, vector-at-a-time). Over a packed
+/// view the value is unpacked in registers right before its comparison —
+/// the fused unpack-and-compare kernel; no decompressed column is ever
+/// materialized.
+pub fn select_gt_fused<C>(col: &C, v: i32, threads: usize) -> Vec<i32>
+where
+    C: ColumnRead + Sync + ?Sized,
+{
+    let n = col.row_count();
     let mut out: Vec<i32> = Vec::with_capacity(n);
     let cursor = AtomicUsize::new(0);
     let out_ptr = SendPtr(out.as_mut_ptr());
@@ -25,7 +38,7 @@ pub fn select_gt_packed(col: &PackedColumn, v: i32, threads: usize) -> Vec<i32> 
             let end = (start + VECTOR_SIZE).min(range.end);
             let mut c = 0usize;
             for i in start..end {
-                let y = col.get(i);
+                let y = col.value(i);
                 buf[c] = y;
                 c += usize::from(y > v);
             }
@@ -46,12 +59,27 @@ pub fn select_gt_packed(col: &PackedColumn, v: i32, threads: usize) -> Vec<i32> 
     out
 }
 
-/// `SELECT SUM(v) FROM r` over a packed column.
-pub fn sum_packed(col: &PackedColumn, threads: usize) -> i64 {
-    let partials = scoped_map(col.len(), threads, |range| {
-        range.map(|i| col.get(i) as i64).sum::<i64>()
+/// `SELECT SUM(v) FROM r` over any readable column (fused unpack when the
+/// column is packed).
+pub fn sum_fused<C>(col: &C, threads: usize) -> i64
+where
+    C: ColumnRead + Sync + ?Sized,
+{
+    let partials = scoped_map(col.row_count(), threads, |range| {
+        range.map(|i| col.value(i) as i64).sum::<i64>()
     });
     partials.into_iter().sum()
+}
+
+/// [`select_gt_fused`] over a packed column (kept as the named entry point
+/// the bench harness calls).
+pub fn select_gt_packed(col: &PackedColumn, v: i32, threads: usize) -> Vec<i32> {
+    select_gt_fused(&col.view(), v, threads)
+}
+
+/// [`sum_fused`] over a packed column.
+pub fn sum_packed(col: &PackedColumn, threads: usize) -> i64 {
+    sum_fused(&col.view(), threads)
 }
 
 #[cfg(test)]
@@ -76,9 +104,14 @@ mod tests {
         let v = 512;
         let mut got = select_gt_packed(&packed, v, 4);
         got.sort_unstable();
-        let mut expected: Vec<i32> = values.into_iter().filter(|&y| y > v).collect();
+        // The plain monomorphization of the same fused kernel is the
+        // oracle: one implementation, two encodings.
+        let mut expected = select_gt_fused(&values[..], v, 4);
         expected.sort_unstable();
         assert_eq!(got, expected);
+        let mut filtered: Vec<i32> = values.into_iter().filter(|&y| y > v).collect();
+        filtered.sort_unstable();
+        assert_eq!(got, filtered);
     }
 
     #[test]
@@ -88,6 +121,7 @@ mod tests {
             sum_packed(&packed, 3),
             values.iter().map(|&v| v as i64).sum::<i64>()
         );
+        assert_eq!(sum_fused(&values[..], 3), sum_packed(&packed, 3));
     }
 
     #[test]
@@ -95,6 +129,29 @@ mod tests {
         let packed = PackedColumn::pack(&[], 8).unwrap();
         assert!(select_gt_packed(&packed, 0, 2).is_empty());
         assert_eq!(sum_packed(&packed, 2), 0);
+    }
+
+    /// Width edges: bit-width 1 (booleans, 64 per word) and bit-width 32
+    /// (the no-op pack) both run the fused kernels correctly.
+    #[test]
+    fn width_edge_cases() {
+        let ones: Vec<i32> = (0..10_000).map(|i| i32::from(i % 3 == 0)).collect();
+        let packed = PackedColumn::pack(&ones, 1).unwrap();
+        assert_eq!(
+            select_gt_packed(&packed, 0, 4).len(),
+            10_000usize.div_ceil(3)
+        );
+        assert_eq!(sum_packed(&packed, 4), ones.iter().map(|&v| v as i64).sum());
+
+        let (values, packed32) = column(5_000, 31);
+        let repacked = PackedColumn::pack(&values, 32).unwrap();
+        assert_eq!(packed32.unpack(), repacked.unpack());
+        let v = 1 << 28;
+        let mut a = select_gt_packed(&repacked, v, 3);
+        a.sort_unstable();
+        let mut b: Vec<i32> = values.into_iter().filter(|&y| y > v).collect();
+        b.sort_unstable();
+        assert_eq!(a, b);
     }
 
     /// Duplicate-heavy data: a two-value column (~95% zeros) and an

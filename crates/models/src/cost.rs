@@ -9,15 +9,20 @@
 /// Table 3's renting costs, dollars per hour.
 #[derive(Debug, Clone, Copy)]
 pub struct RentingCosts {
+    /// CPU instance (r5.2xlarge) rent, $/hour.
     pub cpu_per_hour: f64,
+    /// GPU instance (p3.2xlarge) rent, $/hour.
     pub gpu_per_hour: f64,
 }
 
 /// Table 3's purchase costs, dollars (CPU server blade; GPU adds a V100).
 #[derive(Debug, Clone, Copy)]
 pub struct PurchaseCosts {
+    /// Low-end CPU server blade, $.
     pub cpu_low: f64,
+    /// High-end CPU server blade, $.
     pub cpu_high: f64,
+    /// Cost of adding one V100 to the blade, $.
     pub gpu_addon: f64,
 }
 

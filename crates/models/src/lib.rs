@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # crystal-models — the paper's analytical cost models
 //!
 //! Every closed-form model the paper derives, implemented verbatim and
@@ -12,7 +14,10 @@
 //! * [`sort`] — Section 4.4: histogram and shuffle pass models and full
 //!   LSB/MSB sort compositions.
 //! * [`ssb`] — Section 5.3: the three-component model of SSB q2.1 (and the
-//!   q1.x scan model), and Section 3.1's coprocessor bounds.
+//!   q1.x scan model), Section 3.1's coprocessor bounds, and the
+//!   compression-aware (Section 6) variants: packed transfer/scan bounds,
+//!   the host's scalar-unpack compute bound, and the placement flip ratio
+//!   past which GPU coprocessing wins on packed data.
 //! * [`cost`] — Section 5.4: purchase/renting cost effectiveness (Table 3).
 //!
 //! Each function returns seconds. "Ideal" models assume perfect bandwidth

@@ -72,6 +72,7 @@ pub struct Q21Breakdown {
 }
 
 impl Q21Breakdown {
+    /// Sum of the three components — the modeled query time.
     pub fn total(&self) -> f64 {
         self.fact_columns + self.probes + self.result
     }
@@ -169,6 +170,61 @@ pub fn coprocessor_bounds(bytes: usize, cpu: &CpuSpec, pcie: &PcieSpec) -> (f64,
     (bytes as f64 / pcie.bandwidth, bytes as f64 / cpu.read_bw)
 }
 
+/// Cycles one scalar fused-unpack step costs per packed value on the CPU:
+/// shift, mask, the occasional cross-word fix-up, and the comparison it
+/// feeds. Bit-granular unpacking does not auto-vectorize (values straddle
+/// word boundaries), so the host pays this on a scalar pipe per core —
+/// calibrated against the host-measured packed-select throughput of
+/// `reproduce ablation-compression`, where packed scans gain far less
+/// than the bandwidth ratio suggests.
+pub const CPU_SCALAR_UNPACK_CYCLES: f64 = 5.0;
+
+/// Seconds the host CPU spends unpacking `values` packed values with all
+/// cores' scalar pipes (the compute half of the compressed scan bound).
+pub fn cpu_unpack_secs(values: usize, cpu: &CpuSpec) -> f64 {
+    values as f64 * CPU_SCALAR_UNPACK_CYCLES / (cpu.cores as f64 * cpu.clock_ghz * 1e9)
+}
+
+/// Compressed scan bound of a bandwidth-bound device: the packed bytes
+/// streamed at `bw`. On the GPU the register unpack hides under this
+/// (compute-to-bandwidth ratio far above the ~2 ops/value the unpack
+/// costs); on the CPU compare against [`cpu_unpack_secs`].
+pub fn compressed_scan_secs(packed_bytes: usize, bw: f64) -> f64 {
+    packed_bytes as f64 / bw
+}
+
+/// The Section-6 compression-aware coprocessor bounds. A query ships
+/// `packed_bytes` (the referenced fact columns *after* encoding) over
+/// PCIe, so the coprocessor lower bound drops by the compression ratio:
+/// `RG >= packed_bytes / Bp`. The host streams the same packed bytes from
+/// DRAM but must also unpack `packed_values` values on scalar pipes, so
+/// its bound is the max of the two streams:
+/// `RC >= max(packed_bytes / Bc, cpu_unpack_secs)`. Once the ratio
+/// exceeds [`placement_flip_ratio`], the shrunken transfer undercuts the
+/// host's unpack-limited scan and GPU placement wins — the flip the
+/// follow-up literature observes (transfer volume is the deciding term).
+/// Returns `(gpu_coprocessor_secs, cpu_secs)`.
+pub fn compressed_coprocessor_bounds(
+    packed_bytes: usize,
+    packed_values: usize,
+    cpu: &CpuSpec,
+    pcie: &PcieSpec,
+) -> (f64, f64) {
+    (
+        compressed_scan_secs(packed_bytes, pcie.bandwidth),
+        compressed_scan_secs(packed_bytes, cpu.read_bw).max(cpu_unpack_secs(packed_values, cpu)),
+    )
+}
+
+/// The compression ratio above which a fully packed scan routes to the
+/// coprocessor: solve `4/(r*Bp) = CPU_SCALAR_UNPACK_CYCLES/(cores*clock)`
+/// for `r`. Below it PCIe still loses; above it the packed transfer beats
+/// the host's scalar unpack throughput. ~1.6 for the Table-2 pairing.
+pub fn placement_flip_ratio(cpu: &CpuSpec, pcie: &PcieSpec) -> f64 {
+    ENTRY_BYTES * cpu.cores as f64 * cpu.clock_ghz * 1e9
+        / (pcie.bandwidth * CPU_SCALAR_UNPACK_CYCLES)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +285,47 @@ mod tests {
         assert!(gpu > cpu);
         // SF-20 q1.1 ships 4 columns x 480MB: ~150 ms over PCIe.
         assert!((gpu * 1e3 - 150.0).abs() < 10.0, "{} ms", gpu * 1e3);
+    }
+
+    /// The compression-aware bounds: plain data routes host (Section 3.1),
+    /// but past the flip ratio the packed transfer undercuts the host's
+    /// scalar-unpack scan and the coprocessor wins.
+    #[test]
+    fn compression_flips_the_coprocessor_bound() {
+        let cpu = intel_i7_6900();
+        let pcie = pcie_gen3();
+        let rows = 120_000_000usize;
+        let cols = 4usize;
+        let plain_bytes = 4 * cols * rows;
+
+        // Plain (ratio 1, no unpack): host wins, matching the old bounds.
+        let (g0, c0) = compressed_coprocessor_bounds(plain_bytes, 0, &cpu, &pcie);
+        let (g1, c1) = coprocessor_bounds(plain_bytes, &cpu, &pcie);
+        assert!((g0 - g1).abs() < 1e-12 && (c0 - c1).abs() < 1e-12);
+        assert!(g0 > c0, "plain data must stay host-side");
+
+        let flip = placement_flip_ratio(&cpu, &pcie);
+        assert!((1.2..2.2).contains(&flip), "flip ratio {flip}");
+
+        // Below the flip ratio the host still wins; above it the GPU does.
+        for (ratio, gpu_wins) in [(1.2, false), (2.5, true), (4.0, true)] {
+            let packed_bytes = (plain_bytes as f64 / ratio) as usize;
+            let (g, c) = compressed_coprocessor_bounds(packed_bytes, cols * rows, &cpu, &pcie);
+            assert_eq!(g < c, gpu_wins, "ratio {ratio}: gpu {g} vs host {c}");
+        }
+    }
+
+    /// The host's compressed scan is compute-bound (scalar unpack), not
+    /// bandwidth-bound — the CPU-side asymmetry that keeps compression
+    /// from helping the host as much as it helps the transfer.
+    #[test]
+    fn host_compressed_scan_is_unpack_bound() {
+        let cpu = intel_i7_6900();
+        let rows = 120_000_000usize;
+        let packed_bytes = rows; // 8-bit packing of one column
+        let bw_bound = compressed_scan_secs(packed_bytes, cpu.read_bw);
+        let unpack = cpu_unpack_secs(rows, &cpu);
+        assert!(unpack > bw_bound, "unpack {unpack} <= stream {bw_bound}");
     }
 
     #[test]

@@ -10,9 +10,10 @@
 use crystal_gpu_sim::pcie::{coprocessor_time, CoprocessorTime};
 use crystal_gpu_sim::Gpu;
 use crystal_hardware::{CpuSpec, PcieSpec};
-use crystal_models::ssb::coprocessor_bounds;
+use crystal_models::ssb::compressed_coprocessor_bounds;
 
 use crate::data::SsbData;
+use crate::encoding::{EncodedFact, FactEncodings};
 use crate::engines::gpu::{self, GpuRun};
 use crate::exec::{self, PipelineMode};
 use crate::plan::StarQuery;
@@ -31,6 +32,28 @@ pub struct CoproRun {
 pub fn execute(gpu: &mut Gpu, pcie: &PcieSpec, d: &SsbData, q: &StarQuery) -> CoproRun {
     let gpu_run = gpu::execute(gpu, d, q);
     let shipped_bytes = q.fact_columns().len() * 4 * d.lineorder.rows();
+    let time = coprocessor_time(pcie, shipped_bytes, gpu_run.sim_secs());
+    CoproRun {
+        gpu_run,
+        shipped_bytes,
+        time,
+    }
+}
+
+/// Coprocessor execution over an encoded fact table: packed columns ship
+/// as packed words (the transfer drops by the compression ratio) and the
+/// GPU kernel unpacks tiles in registers.
+pub fn execute_encoded(
+    gpu: &mut Gpu,
+    pcie: &PcieSpec,
+    d: &SsbData,
+    fact: &EncodedFact,
+    q: &StarQuery,
+) -> CoproRun {
+    let gpu_run = gpu::execute_encoded(gpu, d, fact, q);
+    let shipped_bytes = fact
+        .encodings()
+        .columns_bytes(d.lineorder.rows(), &q.fact_columns());
     let time = coprocessor_time(pcie, shipped_bytes, gpu_run.sim_secs());
     CoproRun {
         gpu_run,
@@ -85,15 +108,37 @@ pub struct PlacementChoice {
 /// host — which is exactly the paper's conclusion ("a GPU-based system
 /// fully utilizing the CPU will always be superior to a coprocessor
 /// design"); the decision is computed, not hard-coded, so a future
-/// interconnect spec (e.g. NVLink-class `PcieSpec`) can flip it.
+/// interconnect spec (e.g. NVLink-class `PcieSpec`) can flip it — as can
+/// compression ([`choose_placement_encoded`]).
 pub fn choose_placement(
     d: &SsbData,
     q: &StarQuery,
     cpu: &CpuSpec,
     pcie: &PcieSpec,
 ) -> PlacementChoice {
-    let bytes = q.fact_columns().len() * 4 * d.lineorder.rows();
-    let (coprocessor_secs, host_secs) = coprocessor_bounds(bytes, cpu, pcie);
+    choose_placement_encoded(d, q, &FactEncodings::plain(), cpu, pcie)
+}
+
+/// The compression-aware routing: the transfer ships each referenced fact
+/// column at its *encoded* size, so the coprocessor bound drops by the
+/// compression ratio, while the host's scan bound gains a scalar-unpack
+/// compute term for the packed columns
+/// (`crystal_models::ssb::compressed_coprocessor_bounds`). Past the
+/// modeled flip ratio (~1.6 on the Table-2 pairing) GPU placement wins on
+/// packed data over the very PCIe link that loses on plain data.
+pub fn choose_placement_encoded(
+    d: &SsbData,
+    q: &StarQuery,
+    enc: &FactEncodings,
+    cpu: &CpuSpec,
+    pcie: &PcieSpec,
+) -> PlacementChoice {
+    let rows = d.lineorder.rows();
+    let cols = q.fact_columns();
+    let packed_bytes = enc.columns_bytes(rows, &cols);
+    let packed_values = enc.packed_values(rows, &cols);
+    let (coprocessor_secs, host_secs) =
+        compressed_coprocessor_bounds(packed_bytes, packed_values, cpu, pcie);
     PlacementChoice {
         placement: if coprocessor_secs < host_secs {
             Placement::Coprocessor
@@ -144,6 +189,40 @@ pub fn execute_placed(
     }
 }
 
+/// [`execute_placed`] over an encoded fact table: routes through
+/// [`choose_placement_encoded`] and executes wherever the
+/// compression-aware bounds point — the host's fused-unpack executor, or
+/// the packed-transfer GPU path.
+pub fn execute_placed_encoded(
+    gpu: &mut Gpu,
+    pcie: &PcieSpec,
+    cpu: &CpuSpec,
+    d: &SsbData,
+    fact: &EncodedFact,
+    q: &StarQuery,
+    threads: usize,
+) -> PlacedRun {
+    let choice = choose_placement_encoded(d, q, &fact.encodings(), cpu, pcie);
+    match choice.placement {
+        Placement::Host => {
+            let (result, _) = exec::execute_encoded(d, fact, q, threads, PipelineMode::Vectorized);
+            PlacedRun {
+                choice,
+                result,
+                copro: None,
+            }
+        }
+        Placement::Coprocessor => {
+            let run = execute_encoded(gpu, pcie, d, fact, q);
+            PlacedRun {
+                choice,
+                result: run.gpu_run.result.clone(),
+                copro: Some(run),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +255,39 @@ mod tests {
             assert_eq!(c.placement, Placement::Host, "{}", q.name);
             assert!(c.coprocessor_secs > c.host_secs, "{}", q.name);
         }
+    }
+
+    /// Compression flips the routing over the *same* PCIe Gen3 link that
+    /// loses on plain data: min-width packing shrinks the transfer past
+    /// the modeled flip ratio, so scan-dominated queries move to the GPU,
+    /// and the routed result stays byte-identical to the oracle.
+    #[test]
+    fn compression_flips_placement_to_the_coprocessor() {
+        use crate::engines::reference;
+        let d = SsbData::generate_scaled(1, 0.002, 7);
+        let cpu = intel_i7_6900();
+        let pcie = pcie_gen3();
+        let enc = FactEncodings::packed_min(&d);
+        let q = query(&d, QueryId::new(1, 1));
+
+        let plain = choose_placement(&d, &q, &cpu, &pcie);
+        assert_eq!(plain.placement, Placement::Host);
+        let packed = choose_placement_encoded(&d, &q, &enc, &cpu, &pcie);
+        assert_eq!(packed.placement, Placement::Coprocessor);
+        // The packed transfer bound is below the plain one by the ratio.
+        assert!(packed.coprocessor_secs < plain.coprocessor_secs / 1.5);
+
+        let fact = EncodedFact::encode(&d, &enc);
+        let mut gpu = Gpu::new(nvidia_v100());
+        let run = execute_placed_encoded(&mut gpu, &pcie, &cpu, &d, &fact, &q, 4);
+        assert_eq!(run.choice.placement, Placement::Coprocessor);
+        let copro = run.copro.expect("coprocessor run");
+        assert_eq!(
+            copro.shipped_bytes,
+            enc.columns_bytes(d.lineorder.rows(), &q.fact_columns())
+        );
+        assert!(copro.shipped_bytes < q.fact_columns().len() * 4 * d.lineorder.rows());
+        assert_eq!(run.result, reference::execute(&d, &q));
     }
 
     /// A hypothetical interconnect faster than DRAM flips the decision —

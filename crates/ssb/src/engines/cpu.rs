@@ -12,17 +12,17 @@
 //! ([`super::monet`]).
 //!
 //! [`execute`] lowers onto the shared morsel-driven executor
-//! ([`crate::exec`]) in [`PipelineMode::Vectorized`]; the pre-executor
-//! static-partition implementation survives as [`execute_scoped`] so the
-//! `ssb_parallel` bench (and the scorecard) can compare the two schedules
-//! on identical pipelines.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use crystal_cpu::exec::{scoped_map, VECTOR_SIZE};
+//! ([`crate::exec`]) in [`PipelineMode::Vectorized`]; [`execute_encoded`]
+//! runs the same pipeline directly on a bit-packed fact table (fused
+//! unpack-and-compare kernels, no decompression). The pre-executor
+//! static-partition schedule survives as [`execute_scoped`] — since the
+//! executor rework it is a thin delegation to the *same* pipeline under
+//! `Schedule::Scoped`, kept so the `ssb_parallel` bench (and the
+//! scorecard) can compare the two schedules on identical code.
 
 use crate::data::SsbData;
-use crate::engines::{groups_to_result, DimLookup, QueryTrace, StageTrace};
+use crate::encoding::EncodedFact;
+use crate::engines::QueryTrace;
 use crate::exec::{self, PipelineMode};
 use crate::plan::StarQuery;
 use crate::QueryResult;
@@ -32,139 +32,30 @@ pub fn execute(d: &SsbData, q: &StarQuery, threads: usize) -> (QueryResult, Quer
     exec::execute(d, q, threads, PipelineMode::Vectorized)
 }
 
+/// Executes a query directly on an encoded fact table (packed columns run
+/// the fused unpack kernels; results are byte-identical to [`execute`]).
+pub fn execute_encoded(
+    d: &SsbData,
+    fact: &EncodedFact,
+    q: &StarQuery,
+    threads: usize,
+) -> (QueryResult, QueryTrace) {
+    exec::execute_encoded(d, fact, q, threads, PipelineMode::Vectorized)
+}
+
 /// The pre-morsel scheduling: fact table range-partitioned across scoped
-/// threads, one static partition per core. Kept as the baseline the
-/// morsel-driven path is benchmarked against; results and traces are
-/// identical, only the work distribution differs.
+/// threads, one static partition per core. The pipeline itself is the
+/// executor's — this entry point only changes the schedule — so results
+/// and traces are identical to [`execute`] and only the work distribution
+/// differs.
 pub fn execute_scoped(d: &SsbData, q: &StarQuery, threads: usize) -> (QueryResult, QueryTrace) {
-    let lookups: Vec<DimLookup> = q.joins.iter().map(|j| DimLookup::build(d, j)).collect();
-    let n = d.lineorder.rows();
-    let domains: Vec<usize> = q.group_attrs().iter().map(|a| a.domain()).collect();
-    let domain = q.group_domain();
-    let carries: Vec<bool> = q.joins.iter().map(|j| j.group_attr.is_some()).collect();
-
-    let pred_survivors = AtomicUsize::new(0);
-    let stage_probes: Vec<AtomicUsize> = q.joins.iter().map(|_| AtomicUsize::new(0)).collect();
-    let stage_hits: Vec<AtomicUsize> = q.joins.iter().map(|_| AtomicUsize::new(0)).collect();
-    let result_rows = AtomicUsize::new(0);
-
-    let thread_tables = scoped_map(n, threads, |range| {
-        let mut agg = vec![0i64; domain];
-        // Selection vector and per-join carried group codes for one vector.
-        let mut sel = [0u32; VECTOR_SIZE];
-        let mut codes = vec![[0i32; VECTOR_SIZE]; q.joins.len()];
-        let mut survivors = 0usize;
-        let mut probes = vec![0usize; q.joins.len()];
-        let mut hits = vec![0usize; q.joins.len()];
-        let mut results = 0usize;
-
-        let mut start = range.start;
-        while start < range.end {
-            let end = (start + VECTOR_SIZE).min(range.end);
-
-            // Stage 1: fact predicates -> selection vector (branch-free).
-            let mut count = 0usize;
-            if q.fact_preds.is_empty() {
-                for (k, row) in (start..end).enumerate() {
-                    sel[k] = row as u32;
-                }
-                count = end - start;
-            } else {
-                for row in start..end {
-                    sel[count] = row as u32;
-                    let mut keep = true;
-                    for p in &q.fact_preds {
-                        keep &= p.matches(p.col.data(d)[row]);
-                    }
-                    count += usize::from(keep);
-                }
-            }
-            survivors += count;
-
-            // Stage 2: joins, compacting the selection vector per stage.
-            for (j, lk) in lookups.iter().enumerate() {
-                probes[j] += count;
-                let fk = q.joins[j].fact_fk.data(d);
-                let mut kept = 0usize;
-                for k in 0..count {
-                    let row = sel[k] as usize;
-                    if let Some(code) = lk.get(fk[row]) {
-                        sel[kept] = sel[k];
-                        // Shift earlier joins' carried codes down with it.
-                        for col in codes.iter_mut().take(j) {
-                            col[kept] = col[k];
-                        }
-                        codes[j][kept] = code;
-                        kept += 1;
-                    }
-                }
-                hits[j] += kept;
-                count = kept;
-                if count == 0 {
-                    break;
-                }
-            }
-            results += count;
-
-            // Stage 3: aggregate surviving rows into the dense group table.
-            for k in 0..count {
-                let row = sel[k] as usize;
-                let mut idx = 0usize;
-                let mut di = 0usize;
-                for (j, &carried) in carries.iter().enumerate() {
-                    if carried {
-                        idx = idx * domains[di] + codes[j][k] as usize;
-                        di += 1;
-                    }
-                }
-                agg[idx] += q.agg.eval(d, row);
-            }
-
-            start = end;
-        }
-
-        pred_survivors.fetch_add(survivors, Ordering::Relaxed);
-        for j in 0..q.joins.len() {
-            stage_probes[j].fetch_add(probes[j], Ordering::Relaxed);
-            stage_hits[j].fetch_add(hits[j], Ordering::Relaxed);
-        }
-        result_rows.fetch_add(results, Ordering::Relaxed);
-        agg
-    });
-
-    // Merge thread-local tables.
-    let mut agg = vec![0i64; domain];
-    for t in thread_tables {
-        for (a, v) in agg.iter_mut().zip(t) {
-            *a += v;
-        }
-    }
-
-    let result = groups_to_result(q, &agg);
-    let trace = QueryTrace {
-        fact_rows: n,
-        pred_survivors: pred_survivors.load(Ordering::Relaxed),
-        stages: q
-            .joins
-            .iter()
-            .enumerate()
-            .map(|(j, join)| StageTrace {
-                table: join.table,
-                probes: stage_probes[j].load(Ordering::Relaxed),
-                hits: stage_hits[j].load(Ordering::Relaxed),
-                ht_bytes: lookups[j].size_bytes(),
-                dim_insert_frac: lookups[j].inserted as f64 / join.keys(d).len().max(1) as f64,
-            })
-            .collect(),
-        result_rows: result_rows.load(Ordering::Relaxed),
-        groups: result.rows(),
-    };
-    (result, trace)
+    exec::execute_scoped(d, q, threads)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::encoding::FactEncodings;
     use crate::engines::reference;
     use crate::queries::all_queries;
 
@@ -232,6 +123,19 @@ mod tests {
                 assert_eq!(a.hits, b.hits, "{}", q.name);
                 assert_eq!(a.ht_bytes, b.ht_bytes, "{}", q.name);
             }
+        }
+    }
+
+    /// The engine's encoded entry point is byte-identical to its plain
+    /// one on every query at the tightest packing.
+    #[test]
+    fn encoded_execution_is_byte_identical() {
+        let d = SsbData::generate_scaled(1, 0.002, 23);
+        let fact = EncodedFact::encode(&d, &FactEncodings::packed_min(&d));
+        for q in all_queries(&d) {
+            let (plain, _) = execute(&d, &q, 4);
+            let (packed, _) = execute_encoded(&d, &fact, &q, 4);
+            assert_eq!(plain, packed, "{} diverged under packing", q.name);
         }
     }
 }

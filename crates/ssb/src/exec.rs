@@ -19,19 +19,36 @@
 //!   one branching row loop, no selection vectors.
 //!   [`crate::engines::hyper`] lowers onto this.
 //!
-//! Both produce identical [`QueryResult`]s and [`QueryTrace`]s; the trace
-//! counts are data-determined and independent of the schedule, which the
-//! randomized differential suite (`tests/differential_random.rs`) checks
-//! against the row-wise oracle on hundreds of generated queries.
+//! **Compressed execution.** Every plan column is resolved once to a
+//! [`ColumnSlice`] — plain or bit-packed — and each kernel call
+//! dispatches on the variant, so the pipeline runs the fused
+//! unpack-and-compare monomorphization for packed columns and the plain
+//! one otherwise, per column, in both modes ([`execute_encoded`]). No
+//! column is ever decompressed to a temporary; packed values are unpacked
+//! in registers inside the kernels. [`execute`] is the all-plain special
+//! case reading straight from [`SsbData`].
+//!
+//! The same per-vector pipeline also serves the legacy static-partition
+//! schedule ([`execute_scoped`], kept for the morsel-vs-scoped benchmark)
+//! — one pipeline implementation, two schedules, two interpretation
+//! styles, two physical formats.
+//!
+//! All variants produce identical [`QueryResult`]s and [`QueryTrace`]s;
+//! the trace counts are data-determined and independent of the schedule
+//! and the encodings, which the randomized differential suite
+//! (`tests/differential_random.rs`) checks against the row-wise oracle on
+//! hundreds of generated queries.
 
 use crystal_core::selvec::{
     sel_between_init, sel_between_refine, sel_compact, sel_init, sel_probe, sel_probe_tracked,
 };
-use crystal_cpu::exec::{morsel_map, MorselQueue, MORSEL_SIZE, VECTOR_SIZE};
+use crystal_cpu::exec::{morsel_map, scoped_map, MorselQueue, MORSEL_SIZE, VECTOR_SIZE};
+use crystal_storage::encoding::{ColumnRead, ColumnSlice};
 
 use crate::data::SsbData;
+use crate::encoding::EncodedFact;
 use crate::engines::{groups_to_result, DimLookup, QueryTrace, StageTrace};
-use crate::plan::StarQuery;
+use crate::plan::{AggExpr, StarQuery};
 use crate::QueryResult;
 
 /// How a worker interprets the plan within each morsel.
@@ -41,6 +58,15 @@ pub enum PipelineMode {
     Vectorized,
     /// Tuple-at-a-time push pipeline (branching, Hyper-style).
     TupleAtATime,
+}
+
+/// How rows are handed to workers.
+#[derive(Debug, Clone, Copy)]
+enum Schedule {
+    /// Work-stealing morsels of the given size.
+    Morsel(usize),
+    /// Static near-equal range partitions (the pre-executor baseline).
+    Scoped,
 }
 
 /// Per-worker accumulation state: a private dense aggregate table plus the
@@ -54,20 +80,57 @@ struct WorkerAcc {
     result_rows: usize,
 }
 
-/// Immutable per-query execution context shared by all workers.
+impl WorkerAcc {
+    fn new(domain: usize, joins: usize) -> Self {
+        WorkerAcc {
+            agg: vec![0i64; domain],
+            pred_survivors: 0,
+            probes: vec![0usize; joins],
+            hits: vec![0usize; joins],
+            result_rows: 0,
+        }
+    }
+}
+
+/// Per-worker scratch buffers, allocated once per worker (never per
+/// morsel): the vectorized pipeline's selection vector and carried-code
+/// columns, and the tuple pipeline's per-row code buffer.
+struct Scratch {
+    sel: [u32; VECTOR_SIZE],
+    kept: [u32; VECTOR_SIZE],
+    codes: Vec<[i32; VECTOR_SIZE]>,
+    tuple_codes: Vec<i32>,
+}
+
+impl Scratch {
+    fn new(joins: usize, mode: PipelineMode) -> Self {
+        let vectorized = mode == PipelineMode::Vectorized;
+        Scratch {
+            sel: [0u32; VECTOR_SIZE],
+            kept: [0u32; VECTOR_SIZE],
+            codes: vec![[0i32; VECTOR_SIZE]; if vectorized { joins } else { 0 }],
+            tuple_codes: vec![0i32; if vectorized { 0 } else { joins }],
+        }
+    }
+}
+
+/// Immutable per-query execution context shared by all workers. Columns
+/// are pre-resolved [`ColumnSlice`]s, so workers dispatch to the packed or
+/// plain kernel instantiation per column without touching the plan again.
 struct QueryCtx<'a> {
-    d: &'a SsbData,
     q: &'a StarQuery,
     lookups: &'a [DimLookup],
     /// `(join index, attribute domain)` of each join carrying a group
     /// attribute, in join order — the mixed-radix digits of the group key.
     carried: Vec<(usize, usize)>,
     /// Whether join `j` carries a group attribute.
-    carries: &'a [bool],
+    carries: Vec<bool>,
     /// Fact FK column per join (resolved once).
-    fk_cols: Vec<&'a [i32]>,
+    fk_cols: Vec<ColumnSlice<'a>>,
     /// Fact predicate columns (resolved once).
-    pred_cols: Vec<&'a [i32]>,
+    pred_cols: Vec<ColumnSlice<'a>>,
+    /// Aggregate input columns, in [`AggExpr::columns`] order.
+    agg_cols: Vec<ColumnSlice<'a>>,
 }
 
 impl QueryCtx<'_> {
@@ -80,6 +143,73 @@ impl QueryCtx<'_> {
             idx = idx * dom + code_of_join(j) as usize;
         }
         idx
+    }
+
+    /// The aggregate expression's value for fact row `row`, read through
+    /// the resolved (possibly packed) input columns.
+    #[inline]
+    fn agg_value(&self, row: usize) -> i64 {
+        let a = &self.agg_cols;
+        match self.q.agg {
+            AggExpr::SumDiscountedPrice => a[0].value(row) as i64 * a[1].value(row) as i64,
+            AggExpr::SumRevenue => a[0].value(row) as i64,
+            AggExpr::SumProfit => a[0].value(row) as i64 - a[1].value(row) as i64,
+        }
+    }
+}
+
+// --- Kernel dispatch: one match per kernel call, not per value, so the
+// --- inner loops stay monomorphic (plain) or fused-unpack (packed).
+
+#[inline]
+fn between_init(
+    col: ColumnSlice<'_>,
+    lo: i32,
+    hi: i32,
+    start: usize,
+    end: usize,
+    sel: &mut [u32],
+) -> usize {
+    match col {
+        ColumnSlice::Plain(s) => sel_between_init(s, lo, hi, start, end, sel),
+        ColumnSlice::Packed(v) => sel_between_init(&v, lo, hi, start, end, sel),
+    }
+}
+
+#[inline]
+fn between_refine(col: ColumnSlice<'_>, lo: i32, hi: i32, sel: &mut [u32], count: usize) -> usize {
+    match col {
+        ColumnSlice::Plain(s) => sel_between_refine(s, lo, hi, sel, count),
+        ColumnSlice::Packed(v) => sel_between_refine(&v, lo, hi, sel, count),
+    }
+}
+
+#[inline]
+fn probe(
+    col: ColumnSlice<'_>,
+    lk: &DimLookup,
+    sel: &mut [u32],
+    count: usize,
+    codes: &mut [i32],
+) -> usize {
+    match col {
+        ColumnSlice::Plain(s) => sel_probe(s, |k| lk.get(k), sel, count, codes),
+        ColumnSlice::Packed(v) => sel_probe(&v, |k| lk.get(k), sel, count, codes),
+    }
+}
+
+#[inline]
+fn probe_tracked(
+    col: ColumnSlice<'_>,
+    lk: &DimLookup,
+    sel: &mut [u32],
+    count: usize,
+    codes: &mut [i32],
+    kept: &mut [u32],
+) -> usize {
+    match col {
+        ColumnSlice::Plain(s) => sel_probe_tracked(s, |k| lk.get(k), sel, count, codes, kept),
+        ColumnSlice::Packed(v) => sel_probe_tracked(&v, |k| lk.get(k), sel, count, codes, kept),
     }
 }
 
@@ -103,12 +233,131 @@ pub fn execute_with_morsel(
     morsel: usize,
     mode: PipelineMode,
 ) -> (QueryResult, QueryTrace) {
+    run(
+        d,
+        q,
+        plain_columns(d, q),
+        threads,
+        mode,
+        Schedule::Morsel(morsel),
+    )
+}
+
+/// Executes a query directly on an encoded fact table: packed columns run
+/// the fused unpack kernels, plain columns the original loops, per column.
+pub fn execute_encoded(
+    d: &SsbData,
+    fact: &EncodedFact,
+    q: &StarQuery,
+    threads: usize,
+    mode: PipelineMode,
+) -> (QueryResult, QueryTrace) {
+    execute_encoded_with_morsel(d, fact, q, threads, MORSEL_SIZE, mode)
+}
+
+/// [`execute_encoded`] with an explicit morsel size.
+pub fn execute_encoded_with_morsel(
+    d: &SsbData,
+    fact: &EncodedFact,
+    q: &StarQuery,
+    threads: usize,
+    morsel: usize,
+    mode: PipelineMode,
+) -> (QueryResult, QueryTrace) {
+    fact.check_scale(d);
+    run(
+        d,
+        q,
+        encoded_columns(fact, q),
+        threads,
+        mode,
+        Schedule::Morsel(morsel),
+    )
+}
+
+/// The pre-morsel scheduling: fact table range-partitioned across scoped
+/// threads, one static partition per core, running the *same* vectorized
+/// pipeline. Kept as the baseline the morsel-driven path is benchmarked
+/// against; results and traces are identical, only the work distribution
+/// differs.
+pub fn execute_scoped(d: &SsbData, q: &StarQuery, threads: usize) -> (QueryResult, QueryTrace) {
+    run(
+        d,
+        q,
+        plain_columns(d, q),
+        threads,
+        PipelineMode::Vectorized,
+        Schedule::Scoped,
+    )
+}
+
+/// [`execute_scoped`] over an encoded fact table — the scoped schedule
+/// shares the executor's kernels, so packed execution needs no second
+/// implementation.
+pub fn execute_scoped_encoded(
+    d: &SsbData,
+    fact: &EncodedFact,
+    q: &StarQuery,
+    threads: usize,
+) -> (QueryResult, QueryTrace) {
+    fact.check_scale(d);
+    run(
+        d,
+        q,
+        encoded_columns(fact, q),
+        threads,
+        PipelineMode::Vectorized,
+        Schedule::Scoped,
+    )
+}
+
+/// The plan's columns resolved from plain [`SsbData`] storage.
+type Columns<'a> = (
+    Vec<ColumnSlice<'a>>,
+    Vec<ColumnSlice<'a>>,
+    Vec<ColumnSlice<'a>>,
+);
+
+fn plain_columns<'a>(d: &'a SsbData, q: &StarQuery) -> Columns<'a> {
+    (
+        q.fact_preds
+            .iter()
+            .map(|p| ColumnSlice::Plain(p.col.data(d)))
+            .collect(),
+        q.joins
+            .iter()
+            .map(|j| ColumnSlice::Plain(j.fact_fk.data(d)))
+            .collect(),
+        q.agg
+            .columns()
+            .iter()
+            .map(|c| ColumnSlice::Plain(c.data(d)))
+            .collect(),
+    )
+}
+
+fn encoded_columns<'a>(fact: &'a EncodedFact, q: &StarQuery) -> Columns<'a> {
+    (
+        q.fact_preds.iter().map(|p| fact.col(p.col)).collect(),
+        q.joins.iter().map(|j| fact.col(j.fact_fk)).collect(),
+        q.agg.columns().iter().map(|c| fact.col(*c)).collect(),
+    )
+}
+
+fn run(
+    d: &SsbData,
+    q: &StarQuery,
+    cols: Columns<'_>,
+    threads: usize,
+    mode: PipelineMode,
+    schedule: Schedule,
+) -> (QueryResult, QueryTrace) {
+    let (pred_cols, fk_cols, agg_cols) = cols;
     let lookups: Vec<DimLookup> = q.joins.iter().map(|j| DimLookup::build(d, j)).collect();
     let n = d.lineorder.rows();
     let domain = q.group_domain();
-    let carries: Vec<bool> = q.joins.iter().map(|j| j.group_attr.is_some()).collect();
+    let joins = q.joins.len();
     let ctx = QueryCtx {
-        d,
         q,
         lookups: &lookups,
         carried: q
@@ -117,38 +366,47 @@ pub fn execute_with_morsel(
             .enumerate()
             .filter_map(|(j, join)| join.group_attr.map(|a| (j, a.domain())))
             .collect(),
-        carries: &carries,
-        fk_cols: q.joins.iter().map(|j| j.fact_fk.data(d)).collect(),
-        pred_cols: q.fact_preds.iter().map(|p| p.col.data(d)).collect(),
+        carries: q.joins.iter().map(|j| j.group_attr.is_some()).collect(),
+        fk_cols,
+        pred_cols,
+        agg_cols,
     };
 
-    let workers = morsel_map(n, threads, morsel, |queue: &MorselQueue| {
-        let mut acc = WorkerAcc {
-            agg: vec![0i64; domain],
-            pred_survivors: 0,
-            probes: vec![0usize; q.joins.len()],
-            hits: vec![0usize; q.joins.len()],
-            result_rows: 0,
+    let worker_body =
+        |acc: &mut WorkerAcc, scratch: &mut Scratch, start: usize, end: usize| match mode {
+            PipelineMode::Vectorized => vectorized_range(&ctx, start, end, acc, scratch),
+            PipelineMode::TupleAtATime => tuple_range(&ctx, start, end, acc, scratch),
         };
-        match mode {
-            PipelineMode::Vectorized => vectorized_worker(&ctx, queue, &mut acc),
-            PipelineMode::TupleAtATime => tuple_worker(&ctx, queue, &mut acc),
-        }
-        acc
-    });
+
+    let workers: Vec<WorkerAcc> = match schedule {
+        Schedule::Morsel(morsel) => morsel_map(n, threads, morsel, |queue: &MorselQueue| {
+            let mut acc = WorkerAcc::new(domain, joins);
+            let mut scratch = Scratch::new(joins, mode);
+            while let Some(m) = queue.claim() {
+                worker_body(&mut acc, &mut scratch, m.start, m.end);
+            }
+            acc
+        }),
+        Schedule::Scoped => scoped_map(n, threads, |range| {
+            let mut acc = WorkerAcc::new(domain, joins);
+            let mut scratch = Scratch::new(joins, mode);
+            worker_body(&mut acc, &mut scratch, range.start, range.end);
+            acc
+        }),
+    };
 
     // Merge the private tables and counters.
     let mut agg = vec![0i64; domain];
     let mut pred_survivors = 0usize;
-    let mut probes = vec![0usize; q.joins.len()];
-    let mut hits = vec![0usize; q.joins.len()];
+    let mut probes = vec![0usize; joins];
+    let mut hits = vec![0usize; joins];
     let mut result_rows = 0usize;
     for w in workers {
         for (a, v) in agg.iter_mut().zip(&w.agg) {
             *a += v;
         }
         pred_survivors += w.pred_survivors;
-        for j in 0..q.joins.len() {
+        for j in 0..joins {
             probes[j] += w.probes[j];
             hits[j] += w.hits[j];
         }
@@ -177,112 +435,110 @@ pub fn execute_with_morsel(
     (result, trace)
 }
 
-/// Vector-at-a-time worker: drains the queue, processing each morsel one
-/// L1-sized vector at a time through the selection-vector kernels.
-fn vectorized_worker(ctx: &QueryCtx<'_>, queue: &MorselQueue, acc: &mut WorkerAcc) {
+/// Vector-at-a-time pipeline over one contiguous row range: each L1-sized
+/// vector flows through the selection-vector kernels, with per-column
+/// packed/plain dispatch at every stage.
+fn vectorized_range(
+    ctx: &QueryCtx<'_>,
+    range_start: usize,
+    range_end: usize,
+    acc: &mut WorkerAcc,
+    scratch: &mut Scratch,
+) {
     let joins = ctx.q.joins.len();
-    let mut sel = [0u32; VECTOR_SIZE];
-    let mut kept = [0u32; VECTOR_SIZE];
-    let mut codes = vec![[0i32; VECTOR_SIZE]; joins];
+    let sel = &mut scratch.sel;
+    let kept = &mut scratch.kept;
+    let codes = &mut scratch.codes;
 
-    while let Some(morsel) = queue.claim() {
-        let mut start = morsel.start;
-        while start < morsel.end {
-            let end = (start + VECTOR_SIZE).min(morsel.end);
+    let mut start = range_start;
+    while start < range_end {
+        let end = (start + VECTOR_SIZE).min(range_end);
 
-            // Stage 1: fact predicates -> selection vector.
-            let mut count = match ctx.q.fact_preds.first() {
-                None => sel_init(start, end, &mut sel),
-                Some(p) => sel_between_init(ctx.pred_cols[0], p.lo, p.hi, start, end, &mut sel),
-            };
-            for (p, col) in ctx.q.fact_preds.iter().zip(&ctx.pred_cols).skip(1) {
-                count = sel_between_refine(col, p.lo, p.hi, &mut sel, count);
-            }
-            acc.pred_survivors += count;
-
-            // Stage 2: ordered semi-joins, compacting per stage. Earlier
-            // joins' carried codes are re-aligned through the kept
-            // positions.
-            for j in 0..joins {
-                acc.probes[j] += count;
-                let lk = &ctx.lookups[j];
-                let (before, current) = codes.split_at_mut(j);
-                // Track kept positions only when an earlier join's carried
-                // codes must be re-aligned; the plain probe skips the
-                // bookkeeping store.
-                if ctx.carries[..j].iter().any(|&c| c) {
-                    count = sel_probe_tracked(
-                        ctx.fk_cols[j],
-                        |k| lk.get(k),
-                        &mut sel,
-                        count,
-                        &mut current[0],
-                        &mut kept,
-                    );
-                    for (e, col) in before.iter_mut().enumerate() {
-                        if ctx.carries[e] {
-                            sel_compact(col, &kept, count);
-                        }
-                    }
-                } else {
-                    count = sel_probe(
-                        ctx.fk_cols[j],
-                        |k| lk.get(k),
-                        &mut sel,
-                        count,
-                        &mut current[0],
-                    );
-                }
-                acc.hits[j] += count;
-                if count == 0 {
-                    break;
-                }
-            }
-            acc.result_rows += count;
-
-            // Stage 3: aggregate survivors into the private dense table.
-            for k in 0..count {
-                let row = sel[k] as usize;
-                let idx = ctx.group_idx(|j| codes[j][k]);
-                acc.agg[idx] += ctx.q.agg.eval(ctx.d, row);
-            }
-
-            start = end;
+        // Stage 1: fact predicates -> selection vector.
+        let mut count = match ctx.q.fact_preds.first() {
+            None => sel_init(start, end, sel),
+            Some(p) => between_init(ctx.pred_cols[0], p.lo, p.hi, start, end, sel),
+        };
+        for (p, col) in ctx.q.fact_preds.iter().zip(&ctx.pred_cols).skip(1) {
+            count = between_refine(*col, p.lo, p.hi, sel, count);
         }
+        acc.pred_survivors += count;
+
+        // Stage 2: ordered semi-joins, compacting per stage. Earlier
+        // joins' carried codes are re-aligned through the kept
+        // positions.
+        for j in 0..joins {
+            acc.probes[j] += count;
+            let lk = &ctx.lookups[j];
+            let (before, current) = codes.split_at_mut(j);
+            // Track kept positions only when an earlier join's carried
+            // codes must be re-aligned; the plain probe skips the
+            // bookkeeping store.
+            if ctx.carries[..j].iter().any(|&c| c) {
+                count = probe_tracked(ctx.fk_cols[j], lk, sel, count, &mut current[0], kept);
+                for (e, col) in before.iter_mut().enumerate() {
+                    if ctx.carries[e] {
+                        sel_compact(col, kept, count);
+                    }
+                }
+            } else {
+                count = probe(ctx.fk_cols[j], lk, sel, count, &mut current[0]);
+            }
+            acc.hits[j] += count;
+            if count == 0 {
+                break;
+            }
+        }
+        acc.result_rows += count;
+
+        // Stage 3: aggregate survivors into the private dense table.
+        for k in 0..count {
+            let row = sel[k] as usize;
+            let idx = ctx.group_idx(|j| codes[j][k]);
+            acc.agg[idx] += ctx.agg_value(row);
+        }
+
+        start = end;
     }
 }
 
-/// Tuple-at-a-time worker: one branching row loop per morsel, early-exit
-/// on the first failing predicate or missed probe (the Hyper execution
-/// style, now with morsel-stealing instead of static partitions).
-fn tuple_worker(ctx: &QueryCtx<'_>, queue: &MorselQueue, acc: &mut WorkerAcc) {
-    let mut codes = vec![0i32; ctx.q.joins.len()];
-    while let Some(morsel) = queue.claim() {
-        'rows: for row in morsel {
-            for (p, col) in ctx.q.fact_preds.iter().zip(&ctx.pred_cols) {
-                if !p.matches(col[row]) {
-                    continue 'rows;
-                }
+/// Tuple-at-a-time pipeline over one contiguous row range: one branching
+/// row loop, early-exit on the first failing predicate or missed probe
+/// (the Hyper execution style). Packed columns unpack value-at-a-time
+/// through the same [`ColumnRead`] seam.
+fn tuple_range(
+    ctx: &QueryCtx<'_>,
+    range_start: usize,
+    range_end: usize,
+    acc: &mut WorkerAcc,
+    scratch: &mut Scratch,
+) {
+    let codes = &mut scratch.tuple_codes;
+    'rows: for row in range_start..range_end {
+        for (p, col) in ctx.q.fact_preds.iter().zip(&ctx.pred_cols) {
+            if !p.matches(col.value(row)) {
+                continue 'rows;
             }
-            acc.pred_survivors += 1;
-            for (j, lk) in ctx.lookups.iter().enumerate() {
-                acc.probes[j] += 1;
-                match lk.get(ctx.fk_cols[j][row]) {
-                    Some(code) => codes[j] = code,
-                    None => continue 'rows,
-                }
-                acc.hits[j] += 1;
-            }
-            acc.result_rows += 1;
-            let idx = ctx.group_idx(|j| codes[j]);
-            acc.agg[idx] += ctx.q.agg.eval(ctx.d, row);
         }
+        acc.pred_survivors += 1;
+        for (j, lk) in ctx.lookups.iter().enumerate() {
+            acc.probes[j] += 1;
+            match lk.get(ctx.fk_cols[j].value(row)) {
+                Some(code) => codes[j] = code,
+                None => continue 'rows,
+            }
+            acc.hits[j] += 1;
+        }
+        acc.result_rows += 1;
+        let idx = ctx.group_idx(|j| codes[j]);
+        acc.agg[idx] += ctx.agg_value(row);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::encoding::{random_encodings, EncodedFact, FactEncodings};
     use crate::engines::reference;
     use crate::queries::all_queries;
 
@@ -344,5 +600,57 @@ mod tests {
         assert_eq!(got, expected);
         assert_eq!(trace.fact_rows, d.lineorder.rows());
         assert_eq!(trace.stages[0].probes, trace.pred_survivors);
+    }
+
+    /// Fully packed execution is byte-identical to plain execution on all
+    /// 13 queries, in both modes, with identical traces — compression is
+    /// unobservable except in the bytes moved.
+    #[test]
+    fn packed_min_execution_matches_plain_on_all_queries() {
+        let d = data();
+        let fact = EncodedFact::encode(&d, &FactEncodings::packed_min(&d));
+        for q in all_queries(&d) {
+            let expected = reference::execute(&d, &q);
+            let (vec_r, vec_t) = execute_encoded(&d, &fact, &q, 4, PipelineMode::Vectorized);
+            assert_eq!(vec_r, expected, "{} packed vectorized diverged", q.name);
+            let (tup_r, _) = execute_encoded(&d, &fact, &q, 2, PipelineMode::TupleAtATime);
+            assert_eq!(tup_r, expected, "{} packed tuple diverged", q.name);
+            let (_, plain_t) = execute(&d, &q, 4, PipelineMode::Vectorized);
+            assert_eq!(vec_t.pred_survivors, plain_t.pred_survivors, "{}", q.name);
+            assert_eq!(vec_t.result_rows, plain_t.result_rows, "{}", q.name);
+        }
+    }
+
+    /// Randomly mixed per-column encodings (plain / min-width / wider
+    /// widths incl. the 32-bit no-op pack) stay byte-identical across
+    /// seeds and morsel sizes.
+    #[test]
+    fn random_encoding_mixes_match_plain() {
+        let d = SsbData::generate_scaled(1, 0.002, 31);
+        for seed in 0..6u64 {
+            let fact = EncodedFact::encode(&d, &random_encodings(&d, seed));
+            for q in all_queries(&d).into_iter().take(5) {
+                let expected = reference::execute(&d, &q);
+                let (r, _) =
+                    execute_encoded_with_morsel(&d, &fact, &q, 3, 999, PipelineMode::Vectorized);
+                assert_eq!(r, expected, "seed {seed} {}", q.name);
+            }
+        }
+    }
+
+    /// The scoped schedule runs the same pipeline, plain and packed.
+    #[test]
+    fn scoped_schedule_matches_morsel_schedule() {
+        let d = SsbData::generate_scaled(1, 0.002, 37);
+        let fact = EncodedFact::encode(&d, &FactEncodings::packed_min(&d));
+        for q in all_queries(&d).into_iter().take(6) {
+            let expected = reference::execute(&d, &q);
+            let (scoped_r, scoped_t) = execute_scoped(&d, &q, 4);
+            assert_eq!(scoped_r, expected, "{} scoped diverged", q.name);
+            let (packed_r, packed_t) = execute_scoped_encoded(&d, &fact, &q, 4);
+            assert_eq!(packed_r, expected, "{} scoped packed diverged", q.name);
+            assert_eq!(scoped_t.result_rows, packed_t.result_rows);
+            assert_eq!(scoped_t.pred_survivors, packed_t.pred_survivors);
+        }
     }
 }

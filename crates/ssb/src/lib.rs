@@ -29,9 +29,17 @@
 //! selection-vector pipeline with work-stealing morsel scheduling. The
 //! randomized cross-engine differential suite
 //! (`tests/differential_random.rs`) rests on those two modules.
+//!
+//! [`encoding`] makes compression an execution format: per-column
+//! [`FactEncodings`] descriptors, the [`EncodedFact`] table queries run
+//! on directly (fused unpack kernels, both executor modes, the GPU
+//! engine and the coprocessor route), and the Section-5.2 dictionary
+//! literal rewrite that turns string filters into packed-code range
+//! checks.
 
 pub mod arbitrary;
 pub mod data;
+pub mod encoding;
 pub mod engines;
 pub mod exec;
 pub mod model;
@@ -41,6 +49,7 @@ pub mod queries;
 pub mod result;
 
 pub use data::SsbData;
+pub use encoding::{EncodedFact, FactEncodings};
 pub use plan::StarQuery;
 pub use queries::{all_queries, query, QueryId};
 pub use result::QueryResult;

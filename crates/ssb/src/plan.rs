@@ -25,6 +25,36 @@ pub enum FactCol {
 }
 
 impl FactCol {
+    /// Every fact column, in storage order — the index space of
+    /// per-column encoding descriptors ([`crate::encoding::FactEncodings`]).
+    pub const ALL: [FactCol; 9] = [
+        FactCol::OrderDate,
+        FactCol::CustKey,
+        FactCol::PartKey,
+        FactCol::SuppKey,
+        FactCol::Quantity,
+        FactCol::Discount,
+        FactCol::ExtendedPrice,
+        FactCol::Revenue,
+        FactCol::SupplyCost,
+    ];
+
+    /// The column's position in [`FactCol::ALL`].
+    #[inline]
+    pub fn index(&self) -> usize {
+        match self {
+            FactCol::OrderDate => 0,
+            FactCol::CustKey => 1,
+            FactCol::PartKey => 2,
+            FactCol::SuppKey => 3,
+            FactCol::Quantity => 4,
+            FactCol::Discount => 5,
+            FactCol::ExtendedPrice => 6,
+            FactCol::Revenue => 7,
+            FactCol::SupplyCost => 8,
+        }
+    }
+
     /// The column's data within a generated database.
     pub fn data<'a>(&self, d: &'a SsbData) -> &'a [i32] {
         let lo = &d.lineorder;

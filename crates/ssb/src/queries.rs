@@ -10,6 +10,7 @@
 //! "delivers the highest performance among the several promising plans").
 
 use crate::data::SsbData;
+use crate::encoding::{rewrite_between, rewrite_eq, rewrite_in};
 use crate::plan::{AggExpr, DimAttr, DimJoin, DimPred, DimTable, FactCol, FactPred, StarQuery};
 
 /// Identifier of a benchmark query.
@@ -56,18 +57,24 @@ pub fn all_queries(d: &SsbData) -> Vec<StarQuery> {
     all_query_ids().into_iter().map(|id| query(d, id)).collect()
 }
 
-fn code(d: &SsbData, dict: &str, value: &str) -> i32 {
-    let dd = &d.dicts;
-    let found = match dict {
-        "region" => dd.region.code(value),
-        "nation" => dd.nation.code(value),
-        "city" => dd.city.code(value),
-        "mfgr" => dd.mfgr.code(value),
-        "category" => dd.category.code(value),
-        "brand" => dd.brand.code(value),
-        _ => panic!("unknown dictionary {dict}"),
-    };
-    found.unwrap_or_else(|| panic!("literal {value} missing from {dict} dictionary"))
+/// Section 5.2 literal rewrite, applied at plan-build time: a string
+/// filter becomes a predicate over the attribute's dictionary-code domain
+/// (`crate::encoding`'s rewrite helpers). A missing literal is a
+/// programming error in these fixed benchmark plans.
+fn eq(d: &SsbData, attr: DimAttr, lit: &str) -> DimPred {
+    rewrite_eq(&d.dicts, attr, lit).unwrap_or_else(|| panic!("literal {lit} missing for {attr:?}"))
+}
+
+/// Literal range rewrite (hierarchy-ordered codes make it a code range).
+fn between(d: &SsbData, attr: DimAttr, lo: &str, hi: &str) -> DimPred {
+    rewrite_between(&d.dicts, attr, lo, hi)
+        .unwrap_or_else(|| panic!("literal range {lo}..{hi} missing for {attr:?}"))
+}
+
+/// Literal set rewrite.
+fn isin(d: &SsbData, attr: DimAttr, lits: &[&str]) -> DimPred {
+    rewrite_in(&d.dicts, attr, lits)
+        .unwrap_or_else(|| panic!("a literal of {lits:?} is missing for {attr:?}"))
 }
 
 /// Builds the plan of one query.
@@ -108,22 +115,12 @@ pub fn query(d: &SsbData, id: QueryId) -> StarQuery {
         // --- Flight 2: part x supplier x date ---
         (2, n @ 1..=3) => {
             let (part_filter, region) = match n {
-                1 => (
-                    DimPred::Eq(DimAttr::Category, code(d, "category", "MFGR#12")),
-                    "AMERICA",
-                ),
+                1 => (eq(d, DimAttr::Category, "MFGR#12"), "AMERICA"),
                 2 => (
-                    DimPred::Between(
-                        DimAttr::Brand1,
-                        code(d, "brand", "MFGR#2221"),
-                        code(d, "brand", "MFGR#2228"),
-                    ),
+                    between(d, DimAttr::Brand1, "MFGR#2221", "MFGR#2228"),
                     "ASIA",
                 ),
-                _ => (
-                    DimPred::Eq(DimAttr::Brand1, code(d, "brand", "MFGR#2221")),
-                    "EUROPE",
-                ),
+                _ => (eq(d, DimAttr::Brand1, "MFGR#2221"), "EUROPE"),
             };
             StarQuery {
                 name: match n {
@@ -136,7 +133,7 @@ pub fn query(d: &SsbData, id: QueryId) -> StarQuery {
                     DimJoin {
                         table: DimTable::Supplier,
                         fact_fk: FactCol::SuppKey,
-                        filter: Some(DimPred::Eq(DimAttr::Region, code(d, "region", region))),
+                        filter: Some(eq(d, DimAttr::Region, region)),
                         group_attr: None,
                     },
                     DimJoin {
@@ -163,13 +160,13 @@ pub fn query(d: &SsbData, id: QueryId) -> StarQuery {
                 DimJoin {
                     table: DimTable::Customer,
                     fact_fk: FactCol::CustKey,
-                    filter: Some(DimPred::Eq(DimAttr::Region, code(d, "region", "ASIA"))),
+                    filter: Some(eq(d, DimAttr::Region, "ASIA")),
                     group_attr: Some(DimAttr::Nation),
                 },
                 DimJoin {
                     table: DimTable::Supplier,
                     fact_fk: FactCol::SuppKey,
-                    filter: Some(DimPred::Eq(DimAttr::Region, code(d, "region", "ASIA"))),
+                    filter: Some(eq(d, DimAttr::Region, "ASIA")),
                     group_attr: Some(DimAttr::Nation),
                 },
                 DimJoin {
@@ -188,19 +185,13 @@ pub fn query(d: &SsbData, id: QueryId) -> StarQuery {
                 DimJoin {
                     table: DimTable::Customer,
                     fact_fk: FactCol::CustKey,
-                    filter: Some(DimPred::Eq(
-                        DimAttr::Nation,
-                        code(d, "nation", "UNITED STATES"),
-                    )),
+                    filter: Some(eq(d, DimAttr::Nation, "UNITED STATES")),
                     group_attr: Some(DimAttr::City),
                 },
                 DimJoin {
                     table: DimTable::Supplier,
                     fact_fk: FactCol::SuppKey,
-                    filter: Some(DimPred::Eq(
-                        DimAttr::Nation,
-                        code(d, "nation", "UNITED STATES"),
-                    )),
+                    filter: Some(eq(d, DimAttr::Nation, "UNITED STATES")),
                     group_attr: Some(DimAttr::City),
                 },
                 DimJoin {
@@ -213,7 +204,7 @@ pub fn query(d: &SsbData, id: QueryId) -> StarQuery {
             agg: AggExpr::SumRevenue,
         },
         (3, n @ 3..=4) => {
-            let cities = vec![code(d, "city", "UNITED KI1"), code(d, "city", "UNITED KI5")];
+            let cities = isin(d, DimAttr::City, &["UNITED KI1", "UNITED KI5"]);
             let date_filter = if n == 3 {
                 DimPred::Between(DimAttr::Year, 1992, 1997)
             } else {
@@ -227,13 +218,13 @@ pub fn query(d: &SsbData, id: QueryId) -> StarQuery {
                     DimJoin {
                         table: DimTable::Customer,
                         fact_fk: FactCol::CustKey,
-                        filter: Some(DimPred::In(DimAttr::City, cities.clone())),
+                        filter: Some(cities.clone()),
                         group_attr: Some(DimAttr::City),
                     },
                     DimJoin {
                         table: DimTable::Supplier,
                         fact_fk: FactCol::SuppKey,
-                        filter: Some(DimPred::In(DimAttr::City, cities)),
+                        filter: Some(cities),
                         group_attr: Some(DimAttr::City),
                     },
                     DimJoin {
@@ -254,22 +245,19 @@ pub fn query(d: &SsbData, id: QueryId) -> StarQuery {
                 DimJoin {
                     table: DimTable::Customer,
                     fact_fk: FactCol::CustKey,
-                    filter: Some(DimPred::Eq(DimAttr::Region, code(d, "region", "AMERICA"))),
+                    filter: Some(eq(d, DimAttr::Region, "AMERICA")),
                     group_attr: Some(DimAttr::Nation),
                 },
                 DimJoin {
                     table: DimTable::Supplier,
                     fact_fk: FactCol::SuppKey,
-                    filter: Some(DimPred::Eq(DimAttr::Region, code(d, "region", "AMERICA"))),
+                    filter: Some(eq(d, DimAttr::Region, "AMERICA")),
                     group_attr: None,
                 },
                 DimJoin {
                     table: DimTable::Part,
                     fact_fk: FactCol::PartKey,
-                    filter: Some(DimPred::In(
-                        DimAttr::Mfgr,
-                        vec![code(d, "mfgr", "MFGR#1"), code(d, "mfgr", "MFGR#2")],
-                    )),
+                    filter: Some(isin(d, DimAttr::Mfgr, &["MFGR#1", "MFGR#2"])),
                     group_attr: None,
                 },
                 DimJoin {
@@ -288,22 +276,19 @@ pub fn query(d: &SsbData, id: QueryId) -> StarQuery {
                 DimJoin {
                     table: DimTable::Customer,
                     fact_fk: FactCol::CustKey,
-                    filter: Some(DimPred::Eq(DimAttr::Region, code(d, "region", "AMERICA"))),
+                    filter: Some(eq(d, DimAttr::Region, "AMERICA")),
                     group_attr: None,
                 },
                 DimJoin {
                     table: DimTable::Supplier,
                     fact_fk: FactCol::SuppKey,
-                    filter: Some(DimPred::Eq(DimAttr::Region, code(d, "region", "AMERICA"))),
+                    filter: Some(eq(d, DimAttr::Region, "AMERICA")),
                     group_attr: Some(DimAttr::Nation),
                 },
                 DimJoin {
                     table: DimTable::Part,
                     fact_fk: FactCol::PartKey,
-                    filter: Some(DimPred::In(
-                        DimAttr::Mfgr,
-                        vec![code(d, "mfgr", "MFGR#1"), code(d, "mfgr", "MFGR#2")],
-                    )),
+                    filter: Some(isin(d, DimAttr::Mfgr, &["MFGR#1", "MFGR#2"])),
                     group_attr: Some(DimAttr::Category),
                 },
                 DimJoin {
@@ -322,25 +307,19 @@ pub fn query(d: &SsbData, id: QueryId) -> StarQuery {
                 DimJoin {
                     table: DimTable::Customer,
                     fact_fk: FactCol::CustKey,
-                    filter: Some(DimPred::Eq(DimAttr::Region, code(d, "region", "AMERICA"))),
+                    filter: Some(eq(d, DimAttr::Region, "AMERICA")),
                     group_attr: None,
                 },
                 DimJoin {
                     table: DimTable::Supplier,
                     fact_fk: FactCol::SuppKey,
-                    filter: Some(DimPred::Eq(
-                        DimAttr::Nation,
-                        code(d, "nation", "UNITED STATES"),
-                    )),
+                    filter: Some(eq(d, DimAttr::Nation, "UNITED STATES")),
                     group_attr: Some(DimAttr::City),
                 },
                 DimJoin {
                     table: DimTable::Part,
                     fact_fk: FactCol::PartKey,
-                    filter: Some(DimPred::Eq(
-                        DimAttr::Category,
-                        code(d, "category", "MFGR#14"),
-                    )),
+                    filter: Some(eq(d, DimAttr::Category, "MFGR#14")),
                     group_attr: Some(DimAttr::Brand1),
                 },
                 DimJoin {

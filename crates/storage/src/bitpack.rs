@@ -12,8 +12,11 @@
 /// Error returned when a value does not fit the requested width.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackError {
+    /// Row of the offending value.
     pub index: usize,
+    /// The value that did not fit.
     pub value: i32,
+    /// The requested width.
     pub bits: u32,
 }
 
@@ -91,6 +94,7 @@ impl PackedColumn {
         self.len
     }
 
+    /// Whether the column has no values.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -125,6 +129,63 @@ impl PackedColumn {
     /// Unpacks the whole column.
     pub fn unpack(&self) -> Vec<i32> {
         (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// A borrowed view over the packed stream — what the fused kernels
+    /// (CPU and device) read through.
+    #[inline]
+    pub fn view(&self) -> PackedView<'_> {
+        PackedView {
+            words: &self.words,
+            bits: self.bits,
+            len: self.len,
+        }
+    }
+}
+
+/// A borrowed, copyable view of a packed word stream.
+///
+/// This is the single unpack implementation in the workspace: host-side
+/// fused kernels read it through `crystal_storage::encoding::ColumnRead`,
+/// and the device kernels construct one over their uploaded word buffers.
+#[derive(Debug, Clone, Copy)]
+pub struct PackedView<'a> {
+    words: &'a [u64],
+    bits: u32,
+    len: usize,
+}
+
+impl<'a> PackedView<'a> {
+    /// Builds a view over raw parts (device buffers expose their words as
+    /// a slice).
+    #[inline]
+    pub fn from_raw(words: &'a [u64], bits: u32, len: usize) -> Self {
+        debug_assert!((1..=32).contains(&bits));
+        debug_assert!(words.len() * 64 >= len * bits as usize);
+        PackedView { words, bits, len }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view covers no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Width per value, bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Unpacks one value in registers (two shifts and a mask; three when
+    /// the value straddles a word boundary).
+    #[inline]
+    pub fn get(&self, i: usize) -> i32 {
+        debug_assert!(i < self.len);
+        unpack_at(self.words, self.bits, i)
     }
 }
 

@@ -8,7 +8,9 @@
 /// A named, typed column of values.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Column {
+    /// 4-byte signed integers (the canonical storage type).
     Int(Vec<i32>),
+    /// 4-byte floats (projection microbenchmarks).
     Float(Vec<f32>),
 }
 
@@ -21,6 +23,7 @@ impl Column {
         }
     }
 
+    /// Whether the column has no rows.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

@@ -17,6 +17,7 @@ pub struct Dictionary {
 }
 
 impl Dictionary {
+    /// An empty dictionary.
     pub fn new() -> Self {
         Self::default()
     }
@@ -52,6 +53,7 @@ impl Dictionary {
         self.values.len()
     }
 
+    /// Whether no values have been encoded yet.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }

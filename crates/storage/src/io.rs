@@ -19,8 +19,11 @@ const VERSION: u32 = 1;
 /// A named saved column.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StoredColumn {
+    /// Plain 4-byte integers (tag `0`).
     Int(Vec<i32>),
+    /// 4-byte floats (tag `1`).
     Float(Vec<f32>),
+    /// Bit-packed integers with their width (tag `2`).
     Packed(PackedColumn),
 }
 

@@ -1,20 +1,30 @@
+#![warn(missing_docs)]
+
 //! # crystal-storage — columnar storage substrate
 //!
 //! The thin storage layer the engines share: typed columns, tables with
 //! schemas, dictionary encoding for strings (the paper dictionary-encodes
 //! all SSB string columns to 4-byte integers before loading, Section 5.2),
-//! and deterministic workload generators for the microbenchmarks
-//! (uniform columns with calibrated selectivities, unique key domains,
-//! Zipf-skewed values).
+//! bit-packing (the Section 5.5 compression direction), and deterministic
+//! workload generators for the microbenchmarks (uniform columns with
+//! calibrated selectivities, unique key domains, Zipf-skewed values).
+//!
+//! [`encoding`] is the compressed-execution seam: a per-column
+//! [`Encoding`] descriptor, the [`EncodedColumn`] it materializes, and
+//! the [`ColumnRead`] trait every fused kernel in the workspace reads
+//! through — one scan implementation, monomorphized per physical format,
+//! never a full-column decompress.
 
 pub mod bitpack;
 pub mod column;
 pub mod dict;
+pub mod encoding;
 pub mod gen;
 pub mod io;
 pub mod table;
 
-pub use bitpack::PackedColumn;
+pub use bitpack::{PackedColumn, PackedView};
 pub use column::Column;
 pub use dict::Dictionary;
+pub use encoding::{ColumnRead, ColumnSlice, EncodedColumn, Encoding};
 pub use table::{Schema, Table};

@@ -12,6 +12,7 @@ pub struct Schema {
 }
 
 impl Schema {
+    /// Builds a schema from column names in declaration order.
     pub fn new(names: &[&str]) -> Self {
         let names: Vec<String> = names.iter().map(|s| s.to_string()).collect();
         let index = names
@@ -22,18 +23,22 @@ impl Schema {
         Schema { names, index }
     }
 
+    /// Position of a column by name.
     pub fn position(&self, name: &str) -> Option<usize> {
         self.index.get(name).copied()
     }
 
+    /// Column names in declaration order.
     pub fn names(&self) -> &[String] {
         &self.names
     }
 
+    /// Number of columns.
     pub fn len(&self) -> usize {
         self.names.len()
     }
 
+    /// Whether the schema has no columns.
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
     }
@@ -65,10 +70,12 @@ impl Table {
         }
     }
 
+    /// The table's name.
     pub fn name(&self) -> &str {
         &self.name
     }
 
+    /// The table's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
     }

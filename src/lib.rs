@@ -50,6 +50,8 @@ pub mod prelude {
     pub use crate::hardware::{intel_i7_6900, nvidia_v100, pcie_gen3, CpuSpec, GpuSpec};
     pub use crate::models;
     pub use crate::ssb;
+    pub use crate::ssb::encoding::{EncodedFact, FactEncodings};
     pub use crate::storage::bitpack::PackedColumn;
     pub use crate::storage::column::Column;
+    pub use crate::storage::encoding::{ColumnRead, ColumnSlice, EncodedColumn, Encoding};
 }

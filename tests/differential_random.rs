@@ -8,17 +8,30 @@
 //! a handful of plan shapes; this sweep exercises the whole descriptor
 //! space, which is where scheduling and compaction bugs hide.
 //!
+//! Per-column physical encodings are randomized too
+//! (`crystal::ssb::encoding::random_encodings`): each query also executes
+//! directly on a fact table whose columns are independently plain,
+//! min-width bit-packed, or packed at a wider width — results must stay
+//! byte-identical with compression toggled on, off, and mixed, in both
+//! pipeline modes and through the packed GPU path.
+//!
 //! The base seed is pinned by `CRYSTAL_DIFF_SEED` (decimal u64; default
 //! 20260730) so CI runs are reproducible; any failure message names the
 //! per-query seed, which reproduces the query alone via
-//! `random_star_query(&data, seed)`.
+//! `random_star_query(&data, seed)` (and its encodings via
+//! `random_encodings(&data, seed ^ ENCODING_SALT)`).
 
 use crystal::gpu_sim::Gpu;
 use crystal::hardware::{intel_i7_6900, nvidia_v100, pcie_gen3};
 use crystal::ssb::arbitrary::random_star_query;
+use crystal::ssb::encoding::{random_encodings, EncodedFact};
 use crystal::ssb::engines::{copro, cpu, hyper, reference};
 use crystal::ssb::exec::{self, PipelineMode};
 use crystal::ssb::SsbData;
+
+/// Salt separating the encoding stream from the plan stream, so a query's
+/// shape and its physical format vary independently.
+const ENCODING_SALT: u64 = 0xE6C0_DE5A_17ED_u64;
 
 /// Number of random queries the suite sweeps (the acceptance floor is
 /// 200).
@@ -51,6 +64,7 @@ fn random_queries_agree_across_all_engines() {
 
     let mut grouped = 0usize;
     let mut nonempty = 0usize;
+    let mut packed_runs = 0usize;
     for i in 0..QUERIES {
         let qseed = seed.wrapping_add(i);
         let q = random_star_query(&d, qseed);
@@ -64,6 +78,25 @@ fn random_queries_agree_across_all_engines() {
 
         let got_hyper = hyper::execute(&d, &q, 4);
         assert_eq!(got_hyper, expected, "seed {qseed}: hyper diverged");
+
+        // The same query over a randomly encoded fact table (per-column
+        // plain / min-width / wider packing), both pipeline modes — the
+        // physical format must be unobservable in the results.
+        let enc = random_encodings(&d, qseed ^ ENCODING_SALT);
+        packed_runs += usize::from(enc.any_packed());
+        let fact = EncodedFact::encode(&d, &enc);
+        let (got_enc, enc_trace) =
+            exec::execute_encoded(&d, &fact, &q, 4, PipelineMode::Vectorized);
+        assert_eq!(
+            got_enc, expected,
+            "seed {qseed}: encoded vectorized diverged"
+        );
+        assert_eq!(
+            enc_trace.result_rows, trace.result_rows,
+            "seed {qseed}: encoded trace diverged"
+        );
+        let (got_enc_t, _) = exec::execute_encoded(&d, &fact, &q, 2, PipelineMode::TupleAtATime);
+        assert_eq!(got_enc_t, expected, "seed {qseed}: encoded tuple diverged");
 
         let placed = copro::execute_placed(&mut gpu, &pcie, &cpu_spec, &d, &q, 4);
         assert_eq!(
@@ -88,13 +121,62 @@ fn random_queries_agree_across_all_engines() {
                 dev.result, expected,
                 "seed {qseed}: GPU coprocessor path diverged"
             );
+
+            // The packed GPU path: ship packed words over the (forced)
+            // coprocessor route, unpack in registers on the device.
+            gpu.reset_l2();
+            let dev_enc =
+                copro::execute_placed_encoded(&mut gpu, &fast_link, &cpu_spec, &d, &fact, &q, 4);
+            assert_eq!(
+                dev_enc.choice.placement,
+                copro::Placement::Coprocessor,
+                "seed {qseed}"
+            );
+            assert_eq!(
+                dev_enc.result, expected,
+                "seed {qseed}: packed GPU coprocessor path diverged"
+            );
         }
     }
 
     // The sweep must genuinely exercise the space: a workload that
-    // degenerated to all-scalar or all-empty results would vacuously pass.
+    // degenerated to all-scalar, all-empty or all-plain runs would
+    // vacuously pass.
     assert!(grouped >= 50, "only {grouped} grouped queries generated");
     assert!(nonempty >= 50, "only {nonempty} non-empty results");
+    assert!(
+        packed_runs >= QUERIES as usize / 2,
+        "only {packed_runs} packed-table runs"
+    );
+}
+
+/// Width extremes are unobservable: every column packed at its minimum
+/// width, and every column under the 32-bit no-op pack, both reproduce
+/// the oracle on random queries.
+#[test]
+fn extreme_packing_widths_match_the_oracle() {
+    use crystal::ssb::encoding::FactEncodings;
+    use crystal::ssb::plan::FactCol;
+    use crystal::storage::Encoding;
+
+    let seed = base_seed() ^ 0xb175;
+    let d = SsbData::generate_scaled(1, 0.001, seed);
+    let tight = EncodedFact::encode(&d, &FactEncodings::packed_min(&d));
+    let mut noop = FactEncodings::plain();
+    for c in FactCol::ALL {
+        noop.set(c, Encoding::BitPacked { bits: 32 });
+    }
+    let noop = EncodedFact::encode(&d, &noop);
+    assert!(tight.compression_ratio() > 1.0);
+    for i in 0..16u64 {
+        let qseed = seed.wrapping_add(i);
+        let q = random_star_query(&d, qseed);
+        let expected = reference::execute(&d, &q);
+        for (label, fact) in [("min-width", &tight), ("32-bit no-op", &noop)] {
+            let (r, _) = exec::execute_encoded(&d, fact, &q, 3, PipelineMode::Vectorized);
+            assert_eq!(r, expected, "seed {qseed} {label}");
+        }
+    }
 }
 
 /// The two pipeline modes and adversarial morsel sizes agree on random
