@@ -22,6 +22,8 @@
 //!               ablation-radix-join / ablation-join-order /
 //!               ablation-multi-gpu / ablation-agg /
 //!               ablation-compression
+//!   query-stream cold vs warm DeviceSession residency over a randomized
+//!               query stream (transfer-included vs data-resident)
 //!   whatif      operator gains on a newer CPU/GPU pairing (Section 5.4)
 //!   scorecard   every headline number vs its tolerance band (exits
 //!               non-zero on a miss)
@@ -75,6 +77,7 @@ fn main() {
             "ablation-hybrid" => crystal_bench::ablation::hybrid(&cfg),
             "ablation-skew" => crystal_bench::ablation::skew(&cfg),
             "ablations" => crystal_bench::ablation::run_all(&cfg),
+            "query-stream" => crystal_bench::stream::query_stream(&cfg),
             "whatif" => tables::whatif(),
             "scorecard" => {
                 if !crystal_bench::scorecard::scorecard(&cfg) {
@@ -87,12 +90,13 @@ fn main() {
                 ssb_exp::run_all(&cfg);
                 tables::table3(25.0);
                 crystal_bench::ablation::run_all(&cfg);
+                crystal_bench::stream::query_stream(&cfg);
                 tables::whatif();
                 crystal_bench::scorecard::scorecard(&cfg);
             }
             other => {
                 eprintln!("unknown experiment: {other}");
-                eprintln!("known: table2 fig3 fig9 tile-model fig10 fig12 fig13 fig14 sort fig16 case-study table3 ablations whatif scorecard all (plus ablation-radix-join ablation-join-order ablation-multi-gpu ablation-agg ablation-compression ablation-hybrid ablation-skew)");
+                eprintln!("known: table2 fig3 fig9 tile-model fig10 fig12 fig13 fig14 sort fig16 case-study table3 ablations query-stream whatif scorecard all (plus ablation-radix-join ablation-join-order ablation-multi-gpu ablation-agg ablation-compression ablation-hybrid ablation-skew)");
                 std::process::exit(2);
             }
         }

@@ -18,5 +18,6 @@ pub mod ablation;
 pub mod micro;
 pub mod scorecard;
 pub mod ssb_exp;
+pub mod stream;
 pub mod tables;
 pub mod util;

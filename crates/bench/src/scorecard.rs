@@ -276,6 +276,61 @@ pub fn scorecard(cfg: &Config) -> bool {
         });
     }
 
+    // Device residency (the DeviceSession tentpole): replay the pinned
+    // query stream cold (fresh session per query — transfer-included)
+    // and warm (one shared session — data-resident after the first
+    // pass).
+    {
+        let dd = SsbData::generate_scaled(1, 0.002, crate::stream::STREAM_SEED);
+        let stream = crate::stream::pinned_stream(&dd, 8, 2);
+        let cold = crate::stream::replay(&dd, &stream, false, None);
+        let warm = crate::stream::replay(&dd, &stream, true, None);
+
+        // A two-pass stream can at best halve the shipped bytes; the
+        // warm amortized time must drop by at least the transfer share
+        // the cache actually removed (repeat queries cost only their
+        // device execution).
+        checks.push(Check {
+            name: "warm/cold amortized stream time (2 passes)",
+            paper: 0.5,
+            reproduced: warm.total_secs / cold.total_secs,
+            lo: 0.2,
+            hi: 0.75,
+        });
+
+        // Cache hit ratio of the warm replay: pass 2 is all hits, pass 1
+        // already reuses columns across query shapes.
+        checks.push(Check {
+            name: "warm-stream cache hit ratio (pinned seed)",
+            paper: 0.5,
+            reproduced: warm.hit_ratio,
+            lo: 0.5,
+            hi: 1.0,
+        });
+
+        // Residency flips q1.1's placement over PCIe Gen3 on *plain*
+        // data: cold routing is the paper's Host conclusion, the warm
+        // working set routes to the coprocessor.
+        let q11 = crystal_ssb::queries::query(&dd, crystal_ssb::QueryId::new(1, 1));
+        let plain_enc = FactEncodings::plain();
+        let mut g = Gpu::new(nvidia_v100());
+        let mut sess = crystal_runtime::DeviceSession::new(&mut g);
+        let cold_choice =
+            copro::choose_placement_session(&sess, &dd, &q11, &plain_enc, &cpu, &pcie);
+        let _ = gpu_engine::execute_session(&mut sess, &dd, &q11);
+        let warm_choice =
+            copro::choose_placement_session(&sess, &dd, &q11, &plain_enc, &cpu, &pcie);
+        let flipped = cold_choice.placement == copro::Placement::Host
+            && warm_choice.placement == copro::Placement::Coprocessor;
+        checks.push(Check {
+            name: "q1.1 placement flips when resident (Gen3)",
+            paper: 1.0,
+            reproduced: f64::from(u8::from(flipped)),
+            lo: 1.0,
+            hi: 1.0,
+        });
+    }
+
     // Section 3.3: Crystal vs independent threads (small simulation).
     let mut gpu = Gpu::new(gpu_spec.clone());
     let data = crystal_storage::gen::uniform_i32_domain(1 << 20, 1 << 20, 1);

@@ -61,12 +61,18 @@ pub struct DeviceHashTable {
     slots: DeviceBuffer<u64>,
     scheme: HashScheme,
     mask: u64,
+    entries: usize,
 }
 
 impl DeviceHashTable {
     /// Number of 8-byte slots.
     pub fn num_slots(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Number of key/payload pairs inserted at build time.
+    pub fn entries(&self) -> usize {
+        self.entries
     }
 
     /// Table footprint in bytes — the x-axis of Figure 13.
@@ -83,7 +89,10 @@ impl DeviceHashTable {
     fn home_slot(&self, key: i32) -> usize {
         match self.scheme {
             HashScheme::Mult => ((key as u32).wrapping_mul(2654435761) as u64 & self.mask) as usize,
-            HashScheme::Perfect { min } => (key - min) as usize,
+            // Widen before subtracting: a key far below `min` must land
+            // out of range (caught by the probe's bounds check), not
+            // overflow.
+            HashScheme::Perfect { min } => (key as i64 - min as i64) as usize,
         }
     }
 
@@ -110,6 +119,7 @@ impl DeviceHashTable {
             slots,
             scheme,
             mask: num_slots as u64 - 1,
+            entries: keys.len(),
         };
         let n = keys.len();
         let cfg = LaunchConfig::default_for_items(n);
@@ -140,10 +150,16 @@ impl DeviceHashTable {
     }
 
     /// Device-side probe: returns the payload for `key`, accounting one
-    /// gather per inspected slot.
+    /// gather per inspected slot. A key outside a perfect-hash table's
+    /// slot range misses in registers (one compare, no memory traffic),
+    /// exactly like the bounds check of a real direct-indexed probe.
     #[inline]
     pub fn probe(&self, ctx: &mut BlockCtx<'_>, key: i32) -> Option<i32> {
         let mut slot = self.home_slot(key);
+        if slot >= self.num_slots() {
+            ctx.compute(1);
+            return None;
+        }
         loop {
             ctx.gather(self.slots.addr_of(slot), 8);
             ctx.compute(2);
@@ -253,6 +269,31 @@ mod tests {
         });
         // Exactly one gather per probe: perfect hashing never chains.
         assert_eq!(r.stats.random_requests, 100);
+    }
+
+    /// Keys outside a perfect-hash table's slot range — below `min`,
+    /// above `max`, or extreme enough to overflow a narrow subtraction —
+    /// miss in registers instead of indexing out of bounds.
+    #[test]
+    fn perfect_probe_rejects_out_of_range_keys() {
+        let mut g = gpu();
+        let keys: Vec<i32> = (100..200).collect();
+        let vals: Vec<i32> = (0..100).collect();
+        let dk = g.alloc_from(&keys);
+        let dv = g.alloc_from(&vals);
+        let (ht, _) =
+            DeviceHashTable::build(&mut g, &dk, &dv, 100, HashScheme::Perfect { min: 100 });
+        assert_eq!(ht.entries(), 100);
+        let mut results = Vec::new();
+        let r = g.launch("probe", LaunchConfig::default_for_items(1), |ctx| {
+            for k in [0, 99, 200, -5, i32::MIN, i32::MAX] {
+                results.push(ht.probe(ctx, k));
+            }
+            results.push(ht.probe(ctx, 150));
+        });
+        assert_eq!(results, vec![None, None, None, None, None, None, Some(50)]);
+        // Only the in-range probe touched memory.
+        assert_eq!(r.stats.random_requests, 1);
     }
 
     #[test]

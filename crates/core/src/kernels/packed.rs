@@ -29,11 +29,20 @@ pub struct DevicePackedColumn {
 impl DevicePackedColumn {
     /// Uploads a packed column.
     pub fn upload(gpu: &mut Gpu, col: &PackedColumn) -> Self {
-        DevicePackedColumn {
-            words: gpu.alloc_from(col.words()),
+        Self::try_upload(gpu, col).expect("device allocation failed")
+    }
+
+    /// Fallible upload, for callers (e.g. a caching buffer manager) that
+    /// evict and retry on memory pressure instead of panicking.
+    pub fn try_upload(
+        gpu: &mut Gpu,
+        col: &PackedColumn,
+    ) -> Result<Self, crystal_gpu_sim::mem::OutOfDeviceMemory> {
+        Ok(DevicePackedColumn {
+            words: gpu.try_alloc_from(col.words())?,
             bits: col.bits(),
             len: col.len(),
-        }
+        })
     }
 
     /// A register-unpack view over the device word stream (the same
@@ -312,8 +321,8 @@ mod tests {
                 block_load_sel(ctx, &plain, 0, &bitmap, &mut out_plain);
             }
         });
-        for i in 0..n {
-            let expect = if i % 16 == 0 { values[i] } else { 0 };
+        for (i, &v) in values.iter().enumerate() {
+            let expect = if i % 16 == 0 { v } else { 0 };
             assert_eq!(out_packed.as_slice()[i], expect, "row {i}");
             assert_eq!(out_packed.as_slice()[i], out_plain.as_slice()[i]);
         }

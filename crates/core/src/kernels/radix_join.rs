@@ -298,7 +298,7 @@ mod tests {
                 } else {
                     ((x >> 33) as usize % build_n) as i32
                 };
-                (k, i as i32)
+                (k, i)
             })
             .unzip();
         let dbk = gpu.alloc_from(&bk);
@@ -336,7 +336,7 @@ mod tests {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
                 let base = ((x >> 33) as usize % 1_500) as i32 * 64;
                 // Half hit, half miss by one.
-                (base + ((x >> 17) & 1) as i32, i as i32)
+                (base + ((x >> 17) & 1) as i32, i)
             })
             .unzip();
         let dbk = gpu.alloc_from(&bk);

@@ -213,7 +213,7 @@ mod tests {
                 } else {
                     ((x >> 33) as usize % build_n) as i32
                 };
-                (k, i as i32)
+                (k, i)
             })
             .unzip();
         let expected = oracle_sum(&bk, &bv, &pk, &pv);
@@ -252,7 +252,7 @@ mod tests {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
                 // Half the probes hit (aligned), half miss (offset by 1).
                 let base = ((x >> 33) as usize % 2_000) as i32 * 256;
-                (base + ((x >> 13) & 1) as i32, i as i32)
+                (base + ((x >> 13) & 1) as i32, i)
             })
             .unzip();
         let expected = oracle_sum(&bk, &bv, &pk, &pv);

@@ -23,9 +23,15 @@ pub struct CoprocessorTime {
 }
 
 /// Models running a query in the coprocessor model: `bytes` of input must
-/// cross PCIe, and the GPU itself needs `exec_secs`.
+/// cross PCIe, and the GPU itself needs `exec_secs`. A zero-byte transfer
+/// (a fully device-resident working set) issues no DMA at all, so it pays
+/// no setup latency either.
 pub fn coprocessor_time(pcie: &PcieSpec, bytes: usize, exec_secs: f64) -> CoprocessorTime {
-    let transfer = pcie.transfer_secs(bytes);
+    let transfer = if bytes == 0 {
+        0.0
+    } else {
+        pcie.transfer_secs(bytes)
+    };
     CoprocessorTime {
         transfer,
         exec: exec_secs,

@@ -1,0 +1,742 @@
+//! The [`DeviceSession`]: a device buffer manager with column caching and
+//! hash-table memoization.
+//!
+//! A session wraps a [`Gpu`] for the duration of a query stream. Engines
+//! request fact columns through [`DeviceSession::column`] and dimension
+//! hash tables through [`DeviceSession::hash_table`]; the first request
+//! uploads (or builds) and caches, later requests hit the cache and cost
+//! nothing — no PCIe transfer, no build kernel. Cached entries are evicted
+//! under memory pressure with a cost-aware LRU policy (GreedyDual-Size):
+//! each entry carries the simulated seconds it would take to recreate
+//! (PCIe transfer time for columns, build-kernel time for hash tables),
+//! and the victim is the entry with the lowest
+//! `last-use-priority + recreate-cost / bytes` — so a cheap, stale column
+//! is dropped before an expensive, equally stale hash table.
+//!
+//! Entries are handed out as [`Rc`] clones; an entry whose `Rc` is still
+//! held by a running query is pinned and never evicted mid-use. Dropping
+//! the session frees every unpinned cached buffer, so a transient
+//! one-query-per-session use is exactly the old upload/execute/free
+//! lifecycle. A clone that escapes the session's lifetime keeps its
+//! entry's device bytes charged against the [`Gpu`] forever (there is no
+//! safe point to free them); engines therefore drop their clones before
+//! returning.
+
+use std::rc::Rc;
+
+use crystal_core::hash::DeviceHashTable;
+use crystal_core::kernels::packed::DevicePackedColumn;
+use crystal_core::primitives::{block_load, block_load_sel};
+use crystal_core::tile::Tile;
+use crystal_gpu_sim::exec::BlockCtx;
+use crystal_gpu_sim::mem::DeviceBuffer;
+use crystal_gpu_sim::stats::KernelReport;
+use crystal_gpu_sim::Gpu;
+use crystal_hardware::{pcie_gen3, GpuSpec, PcieSpec};
+use crystal_storage::bitpack::PackedColumn;
+use crystal_storage::encoding::Encoding;
+
+use crystal_core::kernels::packed::{block_load_packed, block_load_sel_packed};
+
+/// Cache key of one device-resident column: a caller-assigned column id
+/// plus the physical [`Encoding`] it was uploaded under. The same logical
+/// column packed at two widths is two distinct entries — a query stream
+/// mixing plain and packed runs keeps both warm independently.
+///
+/// A session caches for exactly one dataset; callers replaying different
+/// datasets must use different sessions (the key does not fingerprint the
+/// column's contents).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColumnKey {
+    /// Caller-assigned column identifier (e.g. a `FactCol` index).
+    pub col: u32,
+    /// Physical encoding of the cached upload.
+    pub encoding: Encoding,
+}
+
+impl ColumnKey {
+    /// Key of a plain 4-byte upload of column `col`.
+    pub fn plain(col: u32) -> Self {
+        ColumnKey {
+            col,
+            encoding: Encoding::Plain,
+        }
+    }
+}
+
+/// A fact column resident on the device in either physical format.
+#[derive(Debug)]
+pub enum DeviceCol {
+    /// Plain 4-byte values.
+    Plain(DeviceBuffer<i32>),
+    /// Bit-packed word stream.
+    Packed(DevicePackedColumn),
+}
+
+impl DeviceCol {
+    /// Device bytes the column occupies.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            DeviceCol::Plain(b) => b.size_bytes(),
+            DeviceCol::Packed(p) => p.size_bytes(),
+        }
+    }
+
+    /// The plain buffer; panics on a packed column (for engines that only
+    /// request plain uploads).
+    pub fn plain(&self) -> &DeviceBuffer<i32> {
+        match self {
+            DeviceCol::Plain(b) => b,
+            DeviceCol::Packed(_) => panic!("expected a plain device column"),
+        }
+    }
+
+    /// Full-tile load with per-format dispatch (`BlockLoad` /
+    /// `BlockLoadPacked`).
+    #[inline]
+    pub fn load_full(&self, ctx: &mut BlockCtx<'_>, start: usize, len: usize, out: &mut Tile<i32>) {
+        match self {
+            DeviceCol::Plain(b) => block_load(ctx, b, start, len, out),
+            DeviceCol::Packed(p) => block_load_packed(ctx, p, start, len, out),
+        }
+    }
+
+    /// Selective tile load with per-format dispatch (`BlockLoadSel` /
+    /// `BlockLoadSelPacked`).
+    #[inline]
+    pub fn load_sel(
+        &self,
+        ctx: &mut BlockCtx<'_>,
+        start: usize,
+        bitmap: &Tile<bool>,
+        out: &mut Tile<i32>,
+    ) {
+        match self {
+            DeviceCol::Plain(b) => block_load_sel(ctx, b, start, bitmap, out),
+            DeviceCol::Packed(p) => block_load_sel_packed(ctx, p, start, bitmap, out),
+        }
+    }
+
+    fn free(self, gpu: &mut Gpu) {
+        match self {
+            DeviceCol::Plain(b) => gpu.free(b),
+            DeviceCol::Packed(p) => p.free(gpu),
+        }
+    }
+}
+
+/// Host-side source a column cache miss uploads from.
+#[derive(Debug, Clone, Copy)]
+pub enum HostCol<'a> {
+    /// Plain 4-byte values.
+    Plain(&'a [i32]),
+    /// A bit-packed column (ships as its raw word stream).
+    Packed(&'a PackedColumn),
+}
+
+impl HostCol<'_> {
+    /// Bytes the upload moves over the interconnect.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            HostCol::Plain(v) => std::mem::size_of_val(*v),
+            HostCol::Packed(p) => std::mem::size_of_val(p.words()),
+        }
+    }
+}
+
+/// Cache counters of one [`DeviceSession`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionStats {
+    /// Column requests served from the cache.
+    pub col_hits: u64,
+    /// Column requests that had to upload.
+    pub col_misses: u64,
+    /// Hash-table requests served from the memo.
+    pub ht_hits: u64,
+    /// Hash-table requests that had to build.
+    pub ht_misses: u64,
+    /// Entries evicted under memory pressure.
+    pub evictions: u64,
+    /// Cumulative host-to-device bytes shipped by column misses — the
+    /// uncached transfer volume a coprocessor-model query actually pays.
+    pub uploaded_bytes: u64,
+    /// Cumulative simulated seconds of memoized build kernels actually run
+    /// (misses only).
+    pub build_secs: f64,
+    /// Bytes currently held by cached entries.
+    pub cached_bytes: usize,
+}
+
+impl SessionStats {
+    /// Hits over all requests, columns and hash tables together
+    /// (1.0 for an all-warm replay, 0 when nothing was requested).
+    pub fn hit_ratio(&self) -> f64 {
+        let hits = self.col_hits + self.ht_hits;
+        let total = hits + self.col_misses + self.ht_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Column bytes uploaded since an earlier snapshot of the same
+    /// session's stats — a query's uncached transfer volume.
+    pub fn uploaded_since(&self, earlier: &SessionStats) -> usize {
+        (self.uploaded_bytes - earlier.uploaded_bytes) as usize
+    }
+}
+
+/// One cached resource plus its GreedyDual-Size bookkeeping.
+struct Entry<T> {
+    res: Rc<T>,
+    bytes: usize,
+    /// Simulated seconds to recreate the entry on a future miss.
+    cost: f64,
+    /// GreedyDual-Size priority: inflation at last use + cost density.
+    h: f64,
+    /// Monotonic last-use tick — the LRU tiebreak between entries whose
+    /// priorities are equal (the inflation value only rises on evictions,
+    /// so equal-density entries would otherwise tie).
+    last_use: u64,
+}
+
+impl<T> Entry<T> {
+    fn pinned(&self) -> bool {
+        Rc::strong_count(&self.res) > 1
+    }
+}
+
+/// A device buffer manager bound to one [`Gpu`] (see the module docs).
+pub struct DeviceSession<'g> {
+    gpu: &'g mut Gpu,
+    pcie: PcieSpec,
+    budget: usize,
+    /// GreedyDual-Size inflation value `L` (rises to the priority of each
+    /// evicted entry, aging everything resident).
+    clock: f64,
+    /// Monotonic request counter feeding `Entry::last_use`.
+    seq: u64,
+    // Vecs, not HashMaps: entry counts are tens at most, linear lookup is
+    // cheap, and eviction order stays deterministic (ties break by
+    // insertion order).
+    cols: Vec<(ColumnKey, Entry<DeviceCol>)>,
+    tables: Vec<(u64, Entry<DeviceHashTable>)>,
+    stats: SessionStats,
+}
+
+impl<'g> DeviceSession<'g> {
+    /// Fraction of device memory the cache may occupy by default; the
+    /// remainder is headroom for per-query scratch (aggregate tables,
+    /// survivor flags, build-side staging).
+    pub const DEFAULT_BUDGET_FRACTION: f64 = 0.75;
+
+    /// A session over `gpu` with the default cache budget
+    /// ([`Self::DEFAULT_BUDGET_FRACTION`] of the device's capacity) and a
+    /// PCIe Gen3 interconnect for recreate-cost accounting.
+    pub fn new(gpu: &'g mut Gpu) -> Self {
+        let budget = (gpu.spec().mem_capacity as f64 * Self::DEFAULT_BUDGET_FRACTION) as usize;
+        Self::with_budget(gpu, budget)
+    }
+
+    /// A session whose cache may hold at most `budget` bytes (scratch
+    /// allocations live outside the budget but inside the device's
+    /// capacity).
+    pub fn with_budget(gpu: &'g mut Gpu, budget: usize) -> Self {
+        DeviceSession {
+            gpu,
+            pcie: pcie_gen3(),
+            budget,
+            clock: 0.0,
+            seq: 0,
+            cols: Vec::new(),
+            tables: Vec::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Replaces the interconnect used to price column re-uploads for the
+    /// eviction policy (the default is PCIe Gen3).
+    pub fn with_interconnect(mut self, pcie: PcieSpec) -> Self {
+        self.pcie = pcie;
+        self
+    }
+
+    /// The underlying device, e.g. to launch kernels.
+    pub fn gpu(&mut self) -> &mut Gpu {
+        self.gpu
+    }
+
+    /// The device's hardware description.
+    pub fn spec(&self) -> &GpuSpec {
+        self.gpu.spec()
+    }
+
+    /// The cache budget in bytes.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Cache counters so far.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Bytes of `keys` already resident in the cache — the term the
+    /// residency-aware placement model subtracts from a query's transfer
+    /// volume.
+    pub fn resident_bytes(&self, keys: &[ColumnKey]) -> usize {
+        keys.iter()
+            .map(|k| {
+                self.cols
+                    .iter()
+                    .find(|(key, _)| key == k)
+                    .map_or(0, |(_, e)| e.bytes)
+            })
+            .sum()
+    }
+
+    /// Whether a column is currently resident.
+    pub fn is_resident(&self, key: ColumnKey) -> bool {
+        self.cols.iter().any(|(k, _)| *k == key)
+    }
+
+    /// Returns the device-resident column for `key`, uploading from `host`
+    /// on a miss (evicting colder entries first if the budget requires).
+    /// The returned [`Rc`] pins the entry against eviction while held.
+    pub fn column(&mut self, key: ColumnKey, host: HostCol<'_>) -> Rc<DeviceCol> {
+        if let Some(i) = self.cols.iter().position(|(k, _)| *k == key) {
+            self.stats.col_hits += 1;
+            self.seq += 1;
+            let (clock, seq) = (self.clock, self.seq);
+            let e = &mut self.cols[i].1;
+            e.h = clock + e.cost / e.bytes.max(1) as f64;
+            e.last_use = seq;
+            return Rc::clone(&e.res);
+        }
+        let bytes = host.size_bytes();
+        self.make_room(bytes);
+        let col = loop {
+            let attempt = match host {
+                HostCol::Plain(v) => self.gpu.try_alloc_from(v).map(DeviceCol::Plain),
+                HostCol::Packed(p) => {
+                    DevicePackedColumn::try_upload(self.gpu, p).map(DeviceCol::Packed)
+                }
+            };
+            match attempt {
+                Ok(c) => break c,
+                Err(e) => {
+                    assert!(
+                        self.evict_one(),
+                        "device out of memory and nothing evictable: {e}"
+                    );
+                }
+            }
+        };
+        self.stats.col_misses += 1;
+        self.stats.uploaded_bytes += bytes as u64;
+        self.stats.cached_bytes += bytes;
+        let cost = self.pcie.transfer_secs(bytes);
+        self.seq += 1;
+        let entry = Entry {
+            res: Rc::new(col),
+            bytes,
+            cost,
+            h: self.clock + cost / bytes.max(1) as f64,
+            last_use: self.seq,
+        };
+        self.cols.push((key, entry));
+        Rc::clone(&self.cols.last().unwrap().1.res)
+    }
+
+    /// Returns the memoized hash table for `key`, running `build` on a
+    /// miss. `estimated_bytes` sizes the pre-build eviction pass (for a
+    /// perfect-hash dimension table this is `8 * key_range`); the report of
+    /// the build kernel is returned only when it actually ran.
+    pub fn hash_table<F>(
+        &mut self,
+        key: u64,
+        estimated_bytes: usize,
+        build: F,
+    ) -> (Rc<DeviceHashTable>, Option<KernelReport>)
+    where
+        F: FnOnce(&mut Gpu) -> (DeviceHashTable, KernelReport),
+    {
+        if let Some(i) = self.tables.iter().position(|(k, _)| *k == key) {
+            self.stats.ht_hits += 1;
+            self.seq += 1;
+            let (clock, seq) = (self.clock, self.seq);
+            let e = &mut self.tables[i].1;
+            e.h = clock + e.cost / e.bytes.max(1) as f64;
+            e.last_use = seq;
+            return (Rc::clone(&e.res), None);
+        }
+        self.make_room(estimated_bytes);
+        // The build needs device headroom beyond the cache budget: the
+        // slot array itself plus its staging buffers (keys + payloads,
+        // never larger than the slot array for a perfect-hash table).
+        // Evict ahead of time so the panicking allocations inside the
+        // build closure cannot OOM while unpinned entries remain.
+        while self.gpu.spec().mem_capacity - self.gpu.mem_used() < 2 * estimated_bytes {
+            if !self.evict_one() {
+                break;
+            }
+        }
+        let (ht, report) = build(self.gpu);
+        let bytes = ht.size_bytes();
+        self.stats.ht_misses += 1;
+        self.stats.build_secs += report.time.total_secs();
+        self.stats.cached_bytes += bytes;
+        let cost = report.time.total_secs();
+        self.seq += 1;
+        let entry = Entry {
+            res: Rc::new(ht),
+            bytes,
+            cost,
+            h: self.clock + cost / bytes.max(1) as f64,
+            last_use: self.seq,
+        };
+        self.tables.push((key, entry));
+        // The build may have pushed the cache past its budget; trim (the
+        // fresh entry is pinned by the Rc we are about to return).
+        let res = Rc::clone(&self.tables.last().unwrap().1.res);
+        self.make_room(0);
+        (res, report.into())
+    }
+
+    /// Re-establishes the budget after a query: a running query may pin a
+    /// working set larger than the budget (it must, to execute at all);
+    /// once its pins drop, this evicts back down. Engines call it as
+    /// their last session interaction.
+    pub fn trim(&mut self) {
+        self.make_room(0);
+    }
+
+    /// Evicts until `incoming` more bytes would fit in the budget. Stops
+    /// early when everything left is pinned.
+    fn make_room(&mut self, incoming: usize) {
+        while self.stats.cached_bytes + incoming > self.budget {
+            if !self.evict_one() {
+                break;
+            }
+        }
+    }
+
+    /// Evicts the unpinned entry with the lowest GreedyDual-Size priority.
+    /// Returns false when nothing is evictable.
+    fn evict_one(&mut self) -> bool {
+        // The one victim-selection ordering: lowest priority first,
+        // LRU tiebreak.
+        fn candidate<K, T>(entries: &[(K, Entry<T>)]) -> Option<(usize, f64, u64)> {
+            entries
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, e))| !e.pinned())
+                .map(|(i, (_, e))| (i, e.h, e.last_use))
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.2.cmp(&b.2)))
+        }
+        let col_victim = candidate(&self.cols);
+        let ht_victim = candidate(&self.tables);
+        let take_col = match (col_victim, ht_victim) {
+            (None, None) => return false,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some((_, ch, cs)), Some((_, hh, hs))) => ch.total_cmp(&hh).then(cs.cmp(&hs)).is_le(),
+        };
+        if take_col {
+            let (i, h, _) = col_victim.unwrap();
+            let (_, e) = self.cols.remove(i);
+            self.clock = self.clock.max(h);
+            self.stats.cached_bytes -= e.bytes;
+            self.stats.evictions += 1;
+            match Rc::try_unwrap(e.res) {
+                Ok(col) => col.free(self.gpu),
+                Err(_) => unreachable!("evicted a pinned column"),
+            }
+        } else {
+            let (i, h, _) = ht_victim.unwrap();
+            let (_, e) = self.tables.remove(i);
+            self.clock = self.clock.max(h);
+            self.stats.cached_bytes -= e.bytes;
+            self.stats.evictions += 1;
+            match Rc::try_unwrap(e.res) {
+                Ok(ht) => ht.free(self.gpu),
+                Err(_) => unreachable!("evicted a pinned hash table"),
+            }
+        }
+        true
+    }
+
+    /// Drops every cached entry, freeing its device memory. Entries still
+    /// pinned by outstanding [`Rc`] clones are *retained* (still tracked,
+    /// still accounted), so the budget arithmetic stays truthful; they
+    /// become evictable again once their clones drop.
+    pub fn clear(&mut self) {
+        fn drain<K, T>(
+            entries: &mut Vec<(K, Entry<T>)>,
+            cached_bytes: &mut usize,
+            mut free: impl FnMut(T),
+        ) {
+            for (key, e) in std::mem::take(entries) {
+                let Entry {
+                    res,
+                    bytes,
+                    cost,
+                    h,
+                    last_use,
+                } = e;
+                match Rc::try_unwrap(res) {
+                    Ok(r) => {
+                        *cached_bytes -= bytes;
+                        free(r);
+                    }
+                    Err(res) => entries.push((
+                        key,
+                        Entry {
+                            res,
+                            bytes,
+                            cost,
+                            h,
+                            last_use,
+                        },
+                    )),
+                }
+            }
+        }
+        drain(&mut self.cols, &mut self.stats.cached_bytes, |col| {
+            col.free(self.gpu)
+        });
+        drain(&mut self.tables, &mut self.stats.cached_bytes, |ht| {
+            ht.free(self.gpu)
+        });
+    }
+
+    // ---- per-query scratch (outside the cache budget) ----
+
+    /// Allocates zero-initialized per-query scratch (aggregate tables,
+    /// survivor flags); pair with [`DeviceSession::free_scratch`].
+    pub fn alloc_scratch_zeroed<T: Copy + Default>(&mut self, len: usize) -> DeviceBuffer<T> {
+        let bytes = len * std::mem::size_of::<T>();
+        loop {
+            match self.gpu.try_alloc_zeroed::<T>(len) {
+                Ok(b) => return b,
+                Err(e) => assert!(
+                    self.evict_one(),
+                    "scratch of {bytes} bytes does not fit and nothing is evictable: {e}"
+                ),
+            }
+        }
+    }
+
+    /// Allocates per-query scratch initialized from `data`.
+    pub fn alloc_scratch_from<T: Copy + Default>(&mut self, data: &[T]) -> DeviceBuffer<T> {
+        loop {
+            match self.gpu.try_alloc_from(data) {
+                Ok(b) => return b,
+                Err(e) => assert!(
+                    self.evict_one(),
+                    "scratch upload does not fit and nothing is evictable: {e}"
+                ),
+            }
+        }
+    }
+
+    /// Frees a scratch buffer.
+    pub fn free_scratch<T: Copy + Default>(&mut self, buf: DeviceBuffer<T>) {
+        self.gpu.free(buf);
+    }
+}
+
+impl Drop for DeviceSession<'_> {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crystal_hardware::nvidia_v100;
+
+    fn small_gpu(capacity: usize) -> Gpu {
+        let mut spec = nvidia_v100();
+        spec.mem_capacity = capacity;
+        Gpu::new(spec)
+    }
+
+    #[test]
+    fn column_hits_after_first_upload_and_ships_no_new_bytes() {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let mut s = DeviceSession::new(&mut gpu);
+        let data: Vec<i32> = (0..10_000).collect();
+        let a = s.column(ColumnKey::plain(0), HostCol::Plain(&data));
+        assert_eq!(s.stats().col_misses, 1);
+        assert_eq!(s.stats().uploaded_bytes, 40_000);
+        drop(a);
+        let b = s.column(ColumnKey::plain(0), HostCol::Plain(&data));
+        assert_eq!(s.stats().col_hits, 1);
+        assert_eq!(s.stats().uploaded_bytes, 40_000, "hit must not re-ship");
+        assert_eq!(b.plain().as_slice(), &data[..]);
+    }
+
+    #[test]
+    fn plain_and_packed_uploads_of_one_column_are_distinct_entries() {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let mut s = DeviceSession::new(&mut gpu);
+        let data: Vec<i32> = (0..4096).collect();
+        let packed = PackedColumn::pack(&data, 12).unwrap();
+        let _p = s.column(ColumnKey::plain(3), HostCol::Plain(&data));
+        let k = ColumnKey {
+            col: 3,
+            encoding: Encoding::BitPacked { bits: 12 },
+        };
+        let _q = s.column(k, HostCol::Packed(&packed));
+        assert_eq!(s.stats().col_misses, 2);
+        assert!(s.is_resident(ColumnKey::plain(3)) && s.is_resident(k));
+        assert_eq!(s.stats().cached_bytes, 4096 * 4 + packed.words().len() * 8);
+    }
+
+    #[test]
+    fn budget_pressure_evicts_lru_and_frees_device_memory() {
+        let mut gpu = small_gpu(1 << 20);
+        // Budget fits two 256KB columns, not three.
+        let mut s = DeviceSession::with_budget(&mut gpu, 600_000);
+        let data: Vec<i32> = (0..65_536).collect();
+        drop(s.column(ColumnKey::plain(0), HostCol::Plain(&data)));
+        drop(s.column(ColumnKey::plain(1), HostCol::Plain(&data)));
+        // Touch col 0 so col 1 is the LRU victim.
+        drop(s.column(ColumnKey::plain(0), HostCol::Plain(&data)));
+        drop(s.column(ColumnKey::plain(2), HostCol::Plain(&data)));
+        assert_eq!(s.stats().evictions, 1);
+        assert!(s.is_resident(ColumnKey::plain(0)));
+        assert!(!s.is_resident(ColumnKey::plain(1)), "LRU entry evicted");
+        assert!(s.is_resident(ColumnKey::plain(2)));
+        assert!(s.stats().cached_bytes <= s.budget());
+        drop(s);
+        assert_eq!(gpu.mem_used(), 0, "session drop frees everything");
+    }
+
+    #[test]
+    fn pinned_entries_survive_pressure() {
+        let mut gpu = small_gpu(1 << 20);
+        let mut s = DeviceSession::with_budget(&mut gpu, 600_000);
+        let data: Vec<i32> = (0..65_536).collect();
+        let pinned = s.column(ColumnKey::plain(0), HostCol::Plain(&data));
+        drop(s.column(ColumnKey::plain(1), HostCol::Plain(&data)));
+        drop(s.column(ColumnKey::plain(2), HostCol::Plain(&data)));
+        // Col 0 is older than col 1 but pinned: col 1 must be the victim.
+        assert!(s.is_resident(ColumnKey::plain(0)));
+        assert!(!s.is_resident(ColumnKey::plain(1)));
+        drop(pinned);
+    }
+
+    #[test]
+    fn cost_aware_eviction_prefers_cheap_entries() {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let mut s = DeviceSession::with_budget(&mut gpu, 600_000);
+        let data: Vec<i32> = (0..65_536).collect();
+        // A hash table whose rebuild cost per byte is far above a column's
+        // re-transfer cost per byte survives even when least recent.
+        let keys: Vec<i32> = (0..1000).collect();
+        let (ht, _) = {
+            let g = s.gpu();
+            let dk = g.alloc_from(&keys);
+            let dv = g.alloc_from(&keys);
+            let out = s.hash_table(7, 8 * 1000, |g| {
+                crystal_core::hash::DeviceHashTable::build(
+                    g,
+                    &dk,
+                    &dv,
+                    1000,
+                    crystal_core::hash::HashScheme::Perfect { min: 0 },
+                )
+            });
+            // Free the staging buffers through the session's device.
+            out
+        };
+        drop(ht);
+        drop(s.column(ColumnKey::plain(0), HostCol::Plain(&data)));
+        drop(s.column(ColumnKey::plain(1), HostCol::Plain(&data)));
+        drop(s.column(ColumnKey::plain(2), HostCol::Plain(&data)));
+        // Pressure evicted at least one column, never the older table.
+        assert!(s.stats().evictions >= 1);
+        assert!(s.tables.iter().any(|(k, _)| *k == 7));
+    }
+
+    #[test]
+    fn hash_table_memoizes_builds() {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let mut s = DeviceSession::new(&mut gpu);
+        let keys: Vec<i32> = (10..110).collect();
+        let build = |g: &mut Gpu| {
+            let dk = g.alloc_from(&(10..110).collect::<Vec<i32>>());
+            let dv = g.alloc_from(&(0..100).collect::<Vec<i32>>());
+            let out = crystal_core::hash::DeviceHashTable::build(
+                g,
+                &dk,
+                &dv,
+                100,
+                crystal_core::hash::HashScheme::Perfect { min: 10 },
+            );
+            g.free(dk);
+            g.free(dv);
+            out
+        };
+        let (t1, r1) = s.hash_table(42, 800, build);
+        assert!(r1.is_some(), "cold build runs the kernel");
+        drop(t1);
+        let (t2, r2) = s.hash_table(42, 800, build);
+        assert!(r2.is_none(), "warm lookup runs nothing");
+        assert_eq!(s.stats().ht_hits, 1);
+        assert_eq!(s.stats().ht_misses, 1);
+        assert_eq!(t2.num_slots(), 100);
+        assert_eq!(keys.len(), 100);
+    }
+
+    #[test]
+    fn scratch_is_outside_the_cache_budget_but_can_force_eviction() {
+        let mut gpu = small_gpu(1 << 20); // 1 MB device
+        let mut s = DeviceSession::with_budget(&mut gpu, 900_000);
+        let data: Vec<i32> = (0..200_000).collect(); // 800 KB cached
+        drop(s.column(ColumnKey::plain(0), HostCol::Plain(&data)));
+        // 400 KB of scratch cannot fit beside it: the column is evicted.
+        let buf = s.alloc_scratch_zeroed::<i32>(100_000);
+        assert_eq!(s.stats().evictions, 1);
+        assert!(!s.is_resident(ColumnKey::plain(0)));
+        s.free_scratch(buf);
+    }
+
+    /// `clear` must not orphan pinned entries: they stay tracked and
+    /// accounted until their clones drop, then free normally.
+    #[test]
+    fn clear_retains_pinned_entries_and_keeps_accounting() {
+        let mut gpu = Gpu::new(nvidia_v100());
+        {
+            let mut s = DeviceSession::new(&mut gpu);
+            let data: Vec<i32> = (0..1000).collect();
+            let pinned = s.column(ColumnKey::plain(0), HostCol::Plain(&data));
+            drop(s.column(ColumnKey::plain(1), HostCol::Plain(&data)));
+            s.clear();
+            assert!(s.is_resident(ColumnKey::plain(0)), "pinned entry retained");
+            assert!(!s.is_resident(ColumnKey::plain(1)));
+            assert_eq!(s.stats().cached_bytes, 4000);
+            drop(pinned);
+            s.clear();
+            assert_eq!(s.stats().cached_bytes, 0);
+        }
+        assert_eq!(gpu.mem_used(), 0);
+    }
+
+    #[test]
+    fn resident_bytes_reports_cached_keys_only() {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let mut s = DeviceSession::new(&mut gpu);
+        let data: Vec<i32> = (0..1000).collect();
+        drop(s.column(ColumnKey::plain(4), HostCol::Plain(&data)));
+        let keys = [ColumnKey::plain(4), ColumnKey::plain(5)];
+        assert_eq!(s.resident_bytes(&keys), 4000);
+        assert_eq!(s.stats().hit_ratio(), 0.0);
+        drop(s.column(ColumnKey::plain(4), HostCol::Plain(&data)));
+        assert!((s.stats().hit_ratio() - 0.5).abs() < 1e-12);
+    }
+}

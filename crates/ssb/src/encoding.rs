@@ -178,7 +178,7 @@ impl EncodedFact {
 
 /// The dictionary a string-valued dimension attribute is encoded through
 /// (`None` for numeric attributes such as `d_year`).
-pub fn dict_of<'a>(dicts: &'a SsbDicts, attr: DimAttr) -> Option<&'a Dictionary> {
+pub fn dict_of(dicts: &SsbDicts, attr: DimAttr) -> Option<&Dictionary> {
     match attr {
         DimAttr::Region => Some(&dicts.region),
         DimAttr::Nation => Some(&dicts.nation),

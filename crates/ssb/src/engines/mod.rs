@@ -10,7 +10,167 @@ pub mod omnisci;
 pub mod reference;
 
 use crate::data::SsbData;
-use crate::plan::{DimJoin, DimTable, StarQuery};
+use crate::plan::{DimJoin, DimPred, DimTable, StarQuery};
+
+/// The build side of one dimension join: the filtered `(key, dense group
+/// code)` pairs every engine inserts, plus the key range they span.
+///
+/// This is the one place the build-phase loop (filter rows → dense group
+/// code) lives; [`DimLookup::build`], the Crystal GPU engine and the
+/// session hash-table memoizer all consume it instead of hand-rolling the
+/// same scan.
+#[derive(Debug, Clone)]
+pub struct DimBuild {
+    /// Keys of dimension rows passing the join filter.
+    pub keys: Vec<i32>,
+    /// Dense group code per surviving row (0 when the join is ungrouped).
+    pub codes: Vec<i32>,
+    /// Total dimension rows (the denominator of the insert fraction).
+    pub dim_rows: usize,
+    /// Smallest primary key of the dimension (over *all* rows).
+    pub min_key: i32,
+    /// Largest primary key of the dimension (over *all* rows).
+    pub max_key: i32,
+}
+
+impl DimBuild {
+    /// Scans one join's dimension, keeping filtered keys and their dense
+    /// group codes.
+    pub fn scan(d: &SsbData, join: &DimJoin) -> Self {
+        let all_keys = join.keys(d);
+        let min_key = all_keys.iter().copied().min().unwrap_or(0);
+        let max_key = all_keys.iter().copied().max().unwrap_or(0);
+        let mut keys = Vec::new();
+        let mut codes = Vec::new();
+        for (row, &k) in all_keys.iter().enumerate() {
+            if join.row_matches(d, row) {
+                let code = match join.group_attr {
+                    None => 0,
+                    Some(a) => a.dense(join.row_group_value(d, row)) as i32,
+                };
+                keys.push(k);
+                codes.push(code);
+            }
+        }
+        DimBuild {
+            keys,
+            codes,
+            dim_rows: all_keys.len(),
+            min_key,
+            max_key,
+        }
+    }
+
+    /// Rows surviving the dimension filter.
+    pub fn inserted(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Span of the perfect-hash slot array (`max - min + 1`).
+    pub fn key_range(&self) -> usize {
+        (self.max_key - self.min_key + 1) as usize
+    }
+
+    /// Perfect-hash footprint with the paper's 8-bytes-per-slot
+    /// accounting.
+    pub fn ht_bytes(&self) -> usize {
+        8 * self.key_range()
+    }
+
+    /// Fraction of dimension rows inserted (surviving the filter).
+    pub fn insert_frac(&self) -> f64 {
+        self.inserted() as f64 / self.dim_rows.max(1) as f64
+    }
+}
+
+/// Perfect-hash footprint of one join's dimension table (8 bytes per slot
+/// over the key range) without evaluating the filter — the cheap
+/// `estimated_bytes` a memoized lookup needs even on a warm hit, where
+/// running the full [`DimBuild::scan`] would be wasted work.
+pub fn dim_table_bytes(d: &SsbData, join: &DimJoin) -> usize {
+    let keys = join.keys(d);
+    let min = keys.iter().copied().min().unwrap_or(0);
+    let max = keys.iter().copied().max().unwrap_or(0);
+    8 * (max - min + 1) as usize
+}
+
+/// Builds the device-side perfect-hash table of one dimension join from
+/// its scanned build side (one build kernel; staging buffers are freed
+/// before returning). This is the closure body every session-memoized
+/// engine passes to
+/// [`crystal_runtime::DeviceSession::hash_table`](crystal_runtime::session::DeviceSession::hash_table).
+pub fn build_dim_table(
+    gpu: &mut crystal_gpu_sim::Gpu,
+    build: &DimBuild,
+) -> (
+    crystal_core::hash::DeviceHashTable,
+    crystal_gpu_sim::stats::KernelReport,
+) {
+    use crystal_core::hash::{DeviceHashTable, HashScheme};
+    let dk = gpu.alloc_from(&build.keys);
+    let dv = gpu.alloc_from(&build.codes);
+    let out = DeviceHashTable::build(
+        gpu,
+        &dk,
+        &dv,
+        build.key_range(),
+        HashScheme::Perfect { min: build.min_key },
+    );
+    gpu.free(dk);
+    gpu.free(dv);
+    out
+}
+
+/// A stable fingerprint of one dimension join's build side — the
+/// memoization key of the session's hash-table cache. Two joins share a
+/// table exactly when they agree on dimension, FK column, filter and
+/// group attribute (the payload is the group code, so the group attribute
+/// is part of the key). FNV-1a over the descriptor; the dimension row
+/// count is folded in as a scale guard.
+pub fn dim_join_fingerprint(d: &SsbData, join: &DimJoin) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |v: i64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(join.table as i64);
+    eat(join.fact_fk.index() as i64);
+    eat(join.keys(d).len() as i64);
+    match &join.filter {
+        None => eat(-1),
+        Some(p) => {
+            let (kind, attr) = match p {
+                DimPred::Eq(a, _) => (0i64, *a),
+                DimPred::Between(a, _, _) => (1, *a),
+                DimPred::In(a, _) => (2, *a),
+            };
+            eat(kind);
+            eat(attr as i64);
+            match p {
+                DimPred::Eq(_, v) => eat(*v as i64),
+                DimPred::Between(_, lo, hi) => {
+                    eat(*lo as i64);
+                    eat(*hi as i64);
+                }
+                DimPred::In(_, vs) => {
+                    eat(vs.len() as i64);
+                    for v in vs {
+                        eat(*v as i64);
+                    }
+                }
+            }
+        }
+    }
+    match join.group_attr {
+        None => eat(-1),
+        Some(a) => eat(a as i64),
+    }
+    h
+}
 
 /// A perfect-hash dimension lookup: payload array indexed by
 /// `key - min_key`. Entry `-1` means the dimension row was filtered out (or
@@ -32,25 +192,15 @@ pub struct DimLookup {
 impl DimLookup {
     /// Builds the lookup for one join of the plan.
     pub fn build(d: &SsbData, join: &DimJoin) -> Self {
-        let keys = join.keys(d);
-        let min_key = keys.iter().copied().min().unwrap_or(0);
-        let max_key = keys.iter().copied().max().unwrap_or(0);
-        let mut table = vec![-1i32; (max_key - min_key + 1) as usize];
-        let mut inserted = 0;
-        for (row, &k) in keys.iter().enumerate() {
-            if join.row_matches(d, row) {
-                let group = match join.group_attr {
-                    None => 0,
-                    Some(a) => a.dense(join.row_group_value(d, row)) as i32,
-                };
-                table[(k - min_key) as usize] = group;
-                inserted += 1;
-            }
+        let build = DimBuild::scan(d, join);
+        let mut table = vec![-1i32; build.key_range()];
+        for (&k, &code) in build.keys.iter().zip(&build.codes) {
+            table[(k - build.min_key) as usize] = code;
         }
         DimLookup {
-            min_key,
+            min_key: build.min_key,
             table,
-            inserted,
+            inserted: build.inserted(),
         }
     }
 

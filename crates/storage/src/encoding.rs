@@ -26,7 +26,7 @@
 use crate::bitpack::{PackedColumn, PackedView};
 
 /// How a logical `i32` column is physically stored.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Encoding {
     /// One 4-byte little-endian value per row (the paper's baseline
     /// storage convention, Section 5.2).

@@ -34,6 +34,7 @@ pub use crystal_cpu as cpu;
 pub use crystal_gpu_sim as gpu_sim;
 pub use crystal_hardware as hardware;
 pub use crystal_models as models;
+pub use crystal_runtime as runtime;
 pub use crystal_ssb as ssb;
 pub use crystal_storage as storage;
 
@@ -49,6 +50,7 @@ pub mod prelude {
     pub use crate::gpu_sim::mem::DeviceBuffer;
     pub use crate::hardware::{intel_i7_6900, nvidia_v100, pcie_gen3, CpuSpec, GpuSpec};
     pub use crate::models;
+    pub use crate::runtime::{ColumnKey, DeviceSession, HostCol};
     pub use crate::ssb;
     pub use crate::ssb::encoding::{EncodedFact, FactEncodings};
     pub use crate::storage::bitpack::PackedColumn;

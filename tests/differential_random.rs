@@ -179,6 +179,64 @@ fn extreme_packing_widths_match_the_oracle() {
     }
 }
 
+/// Warm-cache correctness under the pinned seed: the random query stream
+/// replayed twice through one warm `DeviceSession` stays byte-identical
+/// to the cold reference / CPU / HyPer results on both passes — cache
+/// hits, memoized hash tables and evictionless reuse must all be
+/// unobservable in the results.
+#[test]
+fn pinned_stream_replays_identically_through_a_warm_session() {
+    use crystal::runtime::DeviceSession;
+    use crystal::ssb::engines::gpu as gpu_engine;
+
+    let seed = base_seed();
+    let d = SsbData::generate_scaled(1, 0.001, seed); // 6k fact rows
+    let stream: Vec<_> = (0..12u64)
+        .map(|i| random_star_query(&d, seed.wrapping_add(i)))
+        .collect();
+
+    let mut gpu = Gpu::new(nvidia_v100());
+    let mut sess = DeviceSession::new(&mut gpu);
+    let mut first_pass = Vec::new();
+    let mut after_first_pass = None;
+    for (pass, replay) in [(0, false), (1, true)].into_iter() {
+        for (i, q) in stream.iter().enumerate() {
+            let expected = reference::execute(&d, q);
+            let (got_cpu, _) = cpu::execute(&d, q, 4);
+            assert_eq!(got_cpu, expected, "query {i}: morsel CPU diverged");
+            let got_hyper = hyper::execute(&d, q, 4);
+            assert_eq!(got_hyper, expected, "query {i}: hyper diverged");
+
+            let run = gpu_engine::execute_session(&mut sess, &d, q);
+            assert_eq!(
+                run.result, expected,
+                "query {i} pass {pass}: warm session diverged from cold oracle"
+            );
+            if replay {
+                assert_eq!(
+                    run.result, first_pass[i],
+                    "query {i}: replay diverged from its own first pass"
+                );
+            } else {
+                first_pass.push(run.result.clone());
+            }
+        }
+        if replay {
+            // The second pass was served entirely from residency: no new
+            // uploads, no new builds relative to the first pass.
+            let first = after_first_pass.as_ref().unwrap();
+            let s = sess.stats();
+            assert_eq!(s.uploaded_since(first), 0, "replay must ship nothing");
+            assert_eq!(s.col_misses, first.col_misses);
+            assert_eq!(s.ht_misses, first.ht_misses, "replay must rebuild nothing");
+            assert!(s.col_misses <= 9, "at most the nine fact columns upload");
+            assert_eq!(s.evictions, 0, "a V100-sized budget must not evict");
+        } else {
+            after_first_pass = Some(sess.stats().clone());
+        }
+    }
+}
+
 /// The two pipeline modes and adversarial morsel sizes agree on random
 /// queries, not just the canned 13 — scheduling must be unobservable.
 #[test]
