@@ -24,6 +24,9 @@
 //!               ablation-compression
 //!   query-stream cold vs warm DeviceSession residency over a randomized
 //!               query stream (transfer-included vs data-resident)
+//!   microbench  wall-clock kernel gate: scalar vs chunked selection and
+//!               probe kernels on plain/packed columns; writes
+//!               BENCH_kernels.json (pass --smoke for the CI parity gate)
 //!   whatif      operator gains on a newer CPU/GPU pairing (Section 5.4)
 //!   scorecard   every headline number vs its tolerance band (exits
 //!               non-zero on a miss)
@@ -40,10 +43,14 @@ use crystal_bench::{micro, ssb_exp, tables};
 fn main() {
     let cfg = Config::from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let wants: Vec<&str> = if args.is_empty() {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let wants: Vec<&str> = if args.iter().all(|a| a.starts_with("--")) {
         vec!["all"]
     } else {
-        args.iter().map(|s| s.as_str()).collect()
+        args.iter()
+            .filter(|a| !a.starts_with("--"))
+            .map(|s| s.as_str())
+            .collect()
     };
 
     println!("crystal-rs experiment harness");
@@ -78,6 +85,11 @@ fn main() {
             "ablation-skew" => crystal_bench::ablation::skew(&cfg),
             "ablations" => crystal_bench::ablation::run_all(&cfg),
             "query-stream" => crystal_bench::stream::query_stream(&cfg),
+            "microbench" => {
+                if !crystal_bench::kernels::microbench(&cfg, smoke) {
+                    std::process::exit(1);
+                }
+            }
             "whatif" => tables::whatif(),
             "scorecard" => {
                 if !crystal_bench::scorecard::scorecard(&cfg) {
@@ -91,12 +103,13 @@ fn main() {
                 tables::table3(25.0);
                 crystal_bench::ablation::run_all(&cfg);
                 crystal_bench::stream::query_stream(&cfg);
+                crystal_bench::kernels::microbench(&cfg, smoke);
                 tables::whatif();
                 crystal_bench::scorecard::scorecard(&cfg);
             }
             other => {
                 eprintln!("unknown experiment: {other}");
-                eprintln!("known: table2 fig3 fig9 tile-model fig10 fig12 fig13 fig14 sort fig16 case-study table3 ablations query-stream whatif scorecard all (plus ablation-radix-join ablation-join-order ablation-multi-gpu ablation-agg ablation-compression ablation-hybrid ablation-skew)");
+                eprintln!("known: table2 fig3 fig9 tile-model fig10 fig12 fig13 fig14 sort fig16 case-study table3 ablations query-stream microbench whatif scorecard all (plus ablation-radix-join ablation-join-order ablation-multi-gpu ablation-agg ablation-compression ablation-hybrid ablation-skew)");
                 std::process::exit(2);
             }
         }

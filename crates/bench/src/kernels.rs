@@ -1,0 +1,389 @@
+//! `reproduce microbench` — the wall-clock kernel benchmark gate.
+//!
+//! Times the retained value-at-a-time *scalar* reference kernels against
+//! the two-phase *chunked* kernels (batch decode → branch-free bitmap →
+//! `trailing_zeros` compaction) of `crystal_core::selvec` and
+//! `crystal_cpu::packed`, on plain and bit-packed columns across widths
+//! and selectivities, single-threaded so the numbers are kernel
+//! throughputs rather than scheduler artifacts.
+//!
+//! Unlike the paper-scale experiments in [`crate::micro`] (simulated
+//! GPU and modeled CPU), everything here is **host-measured wall
+//! clock**: the repo's performance trajectory for the CPU hot path,
+//! recorded in `BENCH_kernels.json` at the repo root (plus
+//! `results/microbench_kernels.csv`) so future PRs can be gated on real
+//! throughput. `--smoke` asserts the packed-selection chunked/scalar
+//! ratio never drops below parity; the release acceptance targets are
+//! ≥ 1.5x on the packed selection scan (width ≤ 16) and ≥ 1.2x on the
+//! perfect-hash probe.
+
+use std::hint::black_box;
+
+use crystal_core::selvec::{
+    sel_between_init, sel_between_init_scalar, sel_probe, sel_probe_scalar, PerfectHashProbe,
+};
+use crystal_cpu::packed::{select_gt_fused, sum_fused};
+use crystal_storage::encoding::ColumnRead;
+use crystal_storage::{gen, PackedColumn};
+
+use crate::util::{ratio, Config, Report};
+
+/// One scalar-vs-chunked measurement.
+struct Row {
+    kernel: &'static str,
+    /// `plain` or `packed<bits>`.
+    encoding: String,
+    selectivity: f64,
+    scalar_secs: f64,
+    chunked_secs: f64,
+    /// Median of the *per-repetition* scalar/chunked ratios (see
+    /// [`paired`]) — the noise-robust speedup the gates read.
+    speedup: f64,
+    rows: usize,
+}
+
+impl Row {
+    /// Million tuples per second through a kernel.
+    fn mtps(&self, secs: f64) -> f64 {
+        self.rows as f64 / secs / 1e6
+    }
+}
+
+/// Times the scalar and chunked forms *interleaved*: one scalar run
+/// immediately followed by one chunked run per repetition, so a noisy
+/// neighbor or frequency excursion hits both sides of a pair about
+/// equally. Returns `(median scalar secs, median chunked secs, median of
+/// per-pair ratios)` — the ratio median is computed over pairs, not over
+/// the two medians, which is what makes it robust to bursty
+/// interference.
+pub(crate) fn paired(reps: usize, mut run: impl FnMut(bool)) -> (f64, f64, f64) {
+    let mut once = |chunked: bool| {
+        let t = std::time::Instant::now();
+        run(chunked);
+        t.elapsed().as_secs_f64()
+    };
+    let mut ss = Vec::with_capacity(reps);
+    let mut cs = Vec::with_capacity(reps);
+    let mut rs = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let ts = once(false);
+        let tc = once(true);
+        ss.push(ts);
+        cs.push(tc);
+        rs.push(ts / tc);
+    }
+    let med = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    (med(&mut ss), med(&mut cs), med(&mut rs))
+}
+
+/// Legacy value-at-a-time `SELECT v WHERE v > x` (the pre-chunking fused
+/// loop shape), kept here as the wall-clock baseline for the fused ops.
+fn select_gt_scalar<C: ColumnRead + ?Sized>(col: &C, v: i32, out: &mut Vec<i32>) {
+    out.clear();
+    for i in 0..col.row_count() {
+        let y = col.value(i);
+        if y > v {
+            out.push(y);
+        }
+    }
+}
+
+/// Legacy value-at-a-time sum.
+fn sum_scalar<C: ColumnRead + ?Sized>(col: &C) -> i64 {
+    (0..col.row_count()).map(|i| col.value(i) as i64).sum()
+}
+
+/// Geometric mean of the speedups of `rows` matching `pred`.
+fn geomean<'a>(
+    rows: impl IntoIterator<Item = &'a Row>,
+    pred: impl Fn(&Row) -> bool,
+) -> Option<f64> {
+    let ratios: Vec<f64> = rows
+        .into_iter()
+        .filter(|r| pred(r))
+        .map(|r| r.speedup)
+        .collect();
+    if ratios.is_empty() {
+        return None;
+    }
+    Some((ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp())
+}
+
+/// Runs the kernel microbench; returns `false` (for a non-zero exit) when
+/// `smoke` is set and the packed-selection chunked path fell below scalar
+/// parity.
+pub fn microbench(cfg: &Config, smoke: bool) -> bool {
+    // Smoke keeps CI fast; the full run uses the configured micro size
+    // and more repetitions (the medians feed the committed
+    // BENCH_kernels.json, so they are worth stabilizing against machine
+    // noise).
+    let n = if smoke { 1usize << 20 } else { cfg.micro_n() };
+    let reps = cfg.reps.max(if smoke { 3 } else { 7 });
+    let mut rows: Vec<Row> = Vec::new();
+
+    println!("kernel microbench: n = {n}, reps = {reps}, single-threaded");
+
+    // --- Selection scans: scalar vs chunked, plain + packed widths. ---
+    let selectivities = [0.02f64, 0.2, 0.5, 0.9];
+    let mut sel = vec![0u32; n];
+    for bits in [None, Some(8u32), Some(12), Some(16), Some(22), Some(32)] {
+        let domain: i32 = match bits {
+            Some(b) if b < 31 => 1i32 << b,
+            _ => 1i32 << 30,
+        };
+        let data = gen::uniform_i32_domain(n, domain, 42);
+        let packed = bits.map(|b| PackedColumn::pack(&data, b).unwrap());
+        let encoding = match bits {
+            None => "plain".to_string(),
+            Some(b) => format!("packed{b}"),
+        };
+        for s in selectivities {
+            // `x < v` over a uniform `[0, domain)` column has selectivity
+            // `v / domain`; the kernels take inclusive `lo..=hi`.
+            let hi = gen::threshold_for_selectivity(domain, s) - 1;
+            let (scalar_secs, chunked_secs, speedup) = match &packed {
+                None => paired(reps, |chunked| {
+                    if chunked {
+                        black_box(sel_between_init(&data[..], 0, hi, 0, n, &mut sel));
+                    } else {
+                        black_box(sel_between_init_scalar(&data[..], 0, hi, 0, n, &mut sel));
+                    }
+                }),
+                Some(p) => {
+                    let view = p.view();
+                    paired(reps, |chunked| {
+                        if chunked {
+                            black_box(sel_between_init(&view, 0, hi, 0, n, &mut sel));
+                        } else {
+                            black_box(sel_between_init_scalar(&view, 0, hi, 0, n, &mut sel));
+                        }
+                    })
+                }
+            };
+            rows.push(Row {
+                kernel: "sel_between_init",
+                encoding: encoding.clone(),
+                selectivity: s,
+                scalar_secs,
+                chunked_secs,
+                speedup,
+                rows: n,
+            });
+        }
+    }
+
+    // --- Perfect-hash probe: closure-scalar vs monomorphized spec. ---
+    // ~50% of the slots hold a payload, half the probes hit — the star
+    // query shape after a moderately selective dimension filter.
+    let slots = 1usize << 17;
+    let table: Vec<i32> = (0..slots as i32)
+        .map(|k| if k % 2 == 0 { k / 2 } else { -1 })
+        .collect();
+    let fk = gen::foreign_keys(n, slots, 7);
+    let packed_fk = PackedColumn::pack(&fk, 17).unwrap();
+    let master: Vec<u32> = (0..n as u32).collect();
+    let mut codes = vec![0i32; n];
+    // The pre-spec probe shape: an opaque bounds-and-sentinel-checking
+    // closure per row (what `DimLookup::get` used to hand the kernel).
+    let lookup = |k: i32| {
+        if (0..table.len() as i32).contains(&k) {
+            let v = table[k as usize];
+            if v >= 0 {
+                return Some(v);
+            }
+        }
+        None
+    };
+    let spec = PerfectHashProbe::new(0, &table);
+    for (encoding, col) in [
+        ("plain".to_string(), None),
+        ("packed17".to_string(), Some(packed_fk.view())),
+    ] {
+        // Probes compact `sel` in place, so each rep restores it from the
+        // pristine master first — the same memcpy on both sides.
+        let (scalar_secs, chunked_secs, speedup) = match col {
+            None => paired(reps, |chunked| {
+                sel.copy_from_slice(&master);
+                if chunked {
+                    black_box(sel_probe(&fk[..], &spec, &mut sel, n, &mut codes));
+                } else {
+                    black_box(sel_probe_scalar(&fk[..], lookup, &mut sel, n, &mut codes));
+                }
+            }),
+            Some(view) => paired(reps, |chunked| {
+                sel.copy_from_slice(&master);
+                if chunked {
+                    black_box(sel_probe(&view, &spec, &mut sel, n, &mut codes));
+                } else {
+                    black_box(sel_probe_scalar(&view, lookup, &mut sel, n, &mut codes));
+                }
+            }),
+        };
+        rows.push(Row {
+            kernel: "sel_probe",
+            encoding,
+            selectivity: 0.5,
+            scalar_secs,
+            chunked_secs,
+            speedup,
+            rows: n,
+        });
+    }
+
+    // --- Fused CPU ops: batch decode vs value-at-a-time, packed width 16.
+    {
+        let data = gen::uniform_i32_domain(n, 1 << 16, 11);
+        let packed = PackedColumn::pack(&data, 16).unwrap();
+        let view = packed.view();
+        let v = gen::threshold_for_selectivity(1 << 16, 0.5);
+        let mut out = Vec::with_capacity(n);
+        let (scalar_secs, chunked_secs, speedup) = paired(reps, |chunked| {
+            if chunked {
+                black_box(select_gt_fused(&view, v, 1).len());
+            } else {
+                select_gt_scalar(&view, v, &mut out);
+                black_box(out.len());
+            }
+        });
+        rows.push(Row {
+            kernel: "select_gt_fused",
+            encoding: "packed16".into(),
+            selectivity: 0.5,
+            scalar_secs,
+            chunked_secs,
+            speedup,
+            rows: n,
+        });
+        let (scalar_secs, chunked_secs, speedup) = paired(reps, |chunked| {
+            if chunked {
+                black_box(sum_fused(&view, 1));
+            } else {
+                black_box(sum_scalar(&view));
+            }
+        });
+        rows.push(Row {
+            kernel: "sum_fused",
+            encoding: "packed16".into(),
+            selectivity: 1.0,
+            scalar_secs,
+            chunked_secs,
+            speedup,
+            rows: n,
+        });
+    }
+
+    // --- Report: table + CSV + BENCH_kernels.json. ---
+    let mut report = Report::new(
+        "microbench_kernels",
+        &[
+            "kernel",
+            "encoding",
+            "selectivity",
+            "scalar_mtps",
+            "chunked_mtps",
+            "speedup",
+        ],
+    );
+    for r in &rows {
+        report.row(vec![
+            r.kernel.to_string(),
+            r.encoding.clone(),
+            format!("{:.2}", r.selectivity),
+            format!("{:.1}", r.mtps(r.scalar_secs)),
+            format!("{:.1}", r.mtps(r.chunked_secs)),
+            format!("{:.2}", r.speedup),
+        ]);
+    }
+    report.finish();
+
+    let narrow_packed = |r: &Row| {
+        r.kernel == "sel_between_init"
+            && r.encoding.starts_with("packed")
+            && r.encoding[6..].parse::<u32>().is_ok_and(|b| b <= 16)
+    };
+    let packed_select = geomean(&rows, narrow_packed).unwrap_or(1.0);
+    let probe = geomean(&rows, |r| r.kernel == "sel_probe").unwrap_or(1.0);
+    println!(
+        "headline: packed selection (width <= 16) chunked/scalar {}, perfect-hash probe {}",
+        ratio(packed_select),
+        ratio(probe)
+    );
+
+    if let Err(e) = write_json(n, reps, smoke, &rows, packed_select, probe) {
+        eprintln!("warning: could not write BENCH_kernels.json: {e}");
+    }
+
+    if smoke && packed_select < 1.0 {
+        eprintln!(
+            "SMOKE GATE MISS: packed-selection chunked/scalar ratio {packed_select:.3} < 1.0"
+        );
+        return false;
+    }
+    true
+}
+
+/// Emits `BENCH_kernels.json` at the current directory (the repo root when
+/// run via `cargo run`): the machine-readable performance trajectory.
+fn write_json(
+    n: usize,
+    reps: usize,
+    smoke: bool,
+    rows: &[Row],
+    packed_select: f64,
+    probe: f64,
+) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"kernels\",\n");
+    s.push_str(
+        "  \"unit\": \"speedup = median per-repetition scalar/chunked ratio (wall clock, 1 thread)\",\n",
+    );
+    s.push_str(&format!(
+        "  \"config\": {{\"rows\": {n}, \"reps\": {reps}, \"smoke\": {smoke}}},\n"
+    ));
+    s.push_str("  \"headline\": {\n");
+    s.push_str(&format!(
+        "    \"packed_select_speedup_le16\": {packed_select:.4},\n"
+    ));
+    s.push_str(&format!("    \"probe_speedup\": {probe:.4}\n"));
+    s.push_str("  },\n");
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"encoding\": \"{}\", \"selectivity\": {:.2}, \
+             \"scalar_secs\": {:.6e}, \"chunked_secs\": {:.6e}, \"speedup\": {:.4}}}{}\n",
+            r.kernel,
+            r.encoding,
+            r.selectivity,
+            r.scalar_secs,
+            r.chunked_secs,
+            r.speedup,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write("BENCH_kernels.json", s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The scalar baselines used for timing agree with the shipped
+    /// kernels on results (otherwise the benchmark compares different
+    /// work).
+    #[test]
+    fn bench_baselines_match_kernels() {
+        let data = gen::uniform_i32_domain(10_000, 1 << 12, 3);
+        let packed = PackedColumn::pack(&data, 12).unwrap();
+        let view = packed.view();
+        let v = 1 << 11;
+        let mut out = Vec::new();
+        select_gt_scalar(&view, v, &mut out);
+        assert_eq!(out, select_gt_fused(&view, v, 1));
+        assert_eq!(sum_scalar(&view), sum_fused(&view, 1));
+    }
+}

@@ -15,6 +15,7 @@
 //!   materializing engines), not absolute paper numbers.
 
 pub mod ablation;
+pub mod kernels;
 pub mod micro;
 pub mod scorecard;
 pub mod ssb_exp;

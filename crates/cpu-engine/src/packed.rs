@@ -11,6 +11,12 @@
 //! trait the selection-vector kernels and the morsel executor read
 //! through, so the plain and packed variants are two monomorphizations of
 //! the same fused loop rather than hand-maintained copies.
+//!
+//! The loops are two-phase chunked like `crystal_core::selvec`: each
+//! [`VECTOR_SIZE`] chunk is batch-decoded once (word-parallel for packed
+//! storage, zero-copy for plain), then compared/reduced over a dense
+//! `i32` window the compiler can autovectorize — the per-value
+//! shift/mask/reload cascade never reaches the compare loop.
 
 use crystal_storage::bitpack::PackedColumn;
 use crystal_storage::encoding::ColumnRead;
@@ -19,10 +25,10 @@ use crate::exec::{scoped_map, SendPtr, VECTOR_SIZE};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// `SELECT v FROM r WHERE v > x` over any readable column, producing plain
-/// 4-byte output (predicated inner loop, vector-at-a-time). Over a packed
-/// view the value is unpacked in registers right before its comparison —
-/// the fused unpack-and-compare kernel; no decompressed column is ever
-/// materialized.
+/// 4-byte output (vector-at-a-time). Each chunk is batch-decoded into a
+/// stack window, then compacted with a predicated store — decode and
+/// compare are separate dense loops, so a packed column costs one
+/// word-parallel decode pass instead of a shift/mask per comparison.
 pub fn select_gt_fused<C>(col: &C, v: i32, threads: usize) -> Vec<i32>
 where
     C: ColumnRead + Sync + ?Sized,
@@ -32,13 +38,14 @@ where
     let cursor = AtomicUsize::new(0);
     let out_ptr = SendPtr(out.as_mut_ptr());
     scoped_map(n, threads, |range| {
+        let mut decode = [0i32; VECTOR_SIZE];
         let mut buf = [0i32; VECTOR_SIZE];
         let mut start = range.start;
         while start < range.end {
             let end = (start + VECTOR_SIZE).min(range.end);
+            let window = col.stage(start, end, &mut decode);
             let mut c = 0usize;
-            for i in start..end {
-                let y = col.value(i);
+            for &y in window {
                 buf[c] = y;
                 c += usize::from(y > v);
             }
@@ -59,14 +66,23 @@ where
     out
 }
 
-/// `SELECT SUM(v) FROM r` over any readable column (fused unpack when the
-/// column is packed).
+/// `SELECT SUM(v) FROM r` over any readable column: batch-decode each
+/// chunk, then reduce the dense window (a straight autovectorizable sum).
 pub fn sum_fused<C>(col: &C, threads: usize) -> i64
 where
     C: ColumnRead + Sync + ?Sized,
 {
     let partials = scoped_map(col.row_count(), threads, |range| {
-        range.map(|i| col.value(i) as i64).sum::<i64>()
+        let mut decode = [0i32; VECTOR_SIZE];
+        let mut acc = 0i64;
+        let mut start = range.start;
+        while start < range.end {
+            let end = (start + VECTOR_SIZE).min(range.end);
+            let window = col.stage(start, end, &mut decode);
+            acc += window.iter().map(|&y| y as i64).sum::<i64>();
+            start = end;
+        }
+        acc
     });
     partials.into_iter().sum()
 }

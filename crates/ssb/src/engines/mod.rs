@@ -204,17 +204,20 @@ impl DimLookup {
         }
     }
 
+    /// The monomorphized probe spec over this lookup's payload array —
+    /// what the chunked selection-vector probe kernels gather through
+    /// (`crystal_core::selvec::sel_probe`), replacing the old
+    /// per-row closure indirection.
+    #[inline]
+    pub fn spec(&self) -> crystal_core::selvec::PerfectHashProbe<'_> {
+        crystal_core::selvec::PerfectHashProbe::new(self.min_key, &self.table)
+    }
+
     /// Probes one key: `Some(dense_group_code)` if present and unfiltered.
     #[inline]
     pub fn get(&self, key: i32) -> Option<i32> {
-        let idx = key.wrapping_sub(self.min_key);
-        if (0..self.table.len() as i32).contains(&idx) {
-            let v = self.table[idx as usize];
-            if v >= 0 {
-                return Some(v);
-            }
-        }
-        None
+        let v = self.spec().probe(key);
+        (v >= 0).then_some(v)
     }
 
     /// Footprint with the paper's 8-bytes-per-slot accounting (key +

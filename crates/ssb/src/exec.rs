@@ -28,6 +28,16 @@
 //! in registers inside the kernels. [`execute`] is the all-plain special
 //! case reading straight from [`SsbData`].
 //!
+//! **Chunked kernels.** Each pipeline vector is exactly one decode chunk
+//! of the two-phase selection kernels
+//! ([`crystal_core::selvec`]): batch decode (word-parallel over packed
+//! words, zero-copy over plain slices), branch-free compare into `u64`
+//! match bitmaps, `trailing_zeros` compaction. Probes gather through each
+//! lookup's monomorphized [`crystal_core::selvec::PerfectHashProbe`]
+//! spec rather than a per-row closure. [`VECTOR_SIZE`] equals the kernel
+//! [`CHUNK`] and [`MORSEL_SIZE`] is a multiple of it (checked at compile
+//! time), so morsel boundaries never split a decode chunk mid-stream.
+//!
 //! The same per-vector pipeline also serves the legacy static-partition
 //! schedule ([`execute_scoped`], kept for the morsel-vs-scoped benchmark)
 //! — one pipeline implementation, two schedules, two interpretation
@@ -41,8 +51,21 @@
 
 use crystal_core::selvec::{
     sel_between_init, sel_between_refine, sel_compact, sel_init, sel_probe, sel_probe_tracked,
+    CHUNK,
 };
 use crystal_cpu::exec::{morsel_map, scoped_map, MorselQueue, MORSEL_SIZE, VECTOR_SIZE};
+
+// The pipeline hands the chunked kernels one vector at a time, and morsels
+// are handed out in whole vectors — both must nest cleanly inside the
+// kernels' decode chunk for the two-phase path to run full chunks.
+const _: () = assert!(
+    VECTOR_SIZE == CHUNK,
+    "pipeline vector must equal the kernel chunk"
+);
+const _: () = assert!(
+    MORSEL_SIZE.is_multiple_of(CHUNK),
+    "morsels must hold whole decode chunks"
+);
 use crystal_storage::encoding::{ColumnRead, ColumnSlice};
 
 use crate::data::SsbData;
@@ -192,9 +215,10 @@ fn probe(
     count: usize,
     codes: &mut [i32],
 ) -> usize {
+    let spec = lk.spec();
     match col {
-        ColumnSlice::Plain(s) => sel_probe(s, |k| lk.get(k), sel, count, codes),
-        ColumnSlice::Packed(v) => sel_probe(&v, |k| lk.get(k), sel, count, codes),
+        ColumnSlice::Plain(s) => sel_probe(s, &spec, sel, count, codes),
+        ColumnSlice::Packed(v) => sel_probe(&v, &spec, sel, count, codes),
     }
 }
 
@@ -207,9 +231,10 @@ fn probe_tracked(
     codes: &mut [i32],
     kept: &mut [u32],
 ) -> usize {
+    let spec = lk.spec();
     match col {
-        ColumnSlice::Plain(s) => sel_probe_tracked(s, |k| lk.get(k), sel, count, codes, kept),
-        ColumnSlice::Packed(v) => sel_probe_tracked(&v, |k| lk.get(k), sel, count, codes, kept),
+        ColumnSlice::Plain(s) => sel_probe_tracked(s, &spec, sel, count, codes, kept),
+        ColumnSlice::Packed(v) => sel_probe_tracked(&v, &spec, sel, count, codes, kept),
     }
 }
 

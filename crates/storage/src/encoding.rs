@@ -85,6 +85,45 @@ pub trait ColumnRead {
 
     /// Number of rows.
     fn row_count(&self) -> usize;
+
+    /// Decodes `out.len()` consecutive values starting at `start` into
+    /// `out` — the bulk entry point the chunked kernels stage a whole
+    /// decode chunk through before their branch-free compare/compact
+    /// phase. The default walks [`ColumnRead::value`]; implementations
+    /// with a cheaper bulk form override it ([`PackedView`] decodes
+    /// word-parallel: one load and one shift/mask cascade per packed
+    /// `u64` instead of an address computation and reload per value).
+    #[inline]
+    fn read_batch(&self, start: usize, out: &mut [i32]) {
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.value(start + k);
+        }
+    }
+
+    /// The underlying plain slice when the column is already decoded
+    /// 4-byte storage, letting chunked kernels borrow their decode window
+    /// zero-copy instead of staging it through [`ColumnRead::read_batch`].
+    /// `None` for packed storage (the decode is real work there).
+    #[inline]
+    fn plain(&self) -> Option<&[i32]> {
+        None
+    }
+
+    /// Stages the window `start..end` for a chunked kernel: plain
+    /// storage lends it zero-copy, anything else batch-decodes into
+    /// `buf` (which must hold at least `end - start` values). This is
+    /// the one decode-phase idiom every two-phase kernel shares.
+    #[inline]
+    fn stage<'a>(&'a self, start: usize, end: usize, buf: &'a mut [i32]) -> &'a [i32] {
+        match self.plain() {
+            Some(s) => &s[start..end],
+            None => {
+                let b = &mut buf[..end - start];
+                self.read_batch(start, b);
+                b
+            }
+        }
+    }
 }
 
 impl ColumnRead for [i32] {
@@ -97,6 +136,16 @@ impl ColumnRead for [i32] {
     fn row_count(&self) -> usize {
         self.len()
     }
+
+    #[inline]
+    fn read_batch(&self, start: usize, out: &mut [i32]) {
+        out.copy_from_slice(&self[start..start + out.len()]);
+    }
+
+    #[inline]
+    fn plain(&self) -> Option<&[i32]> {
+        Some(self)
+    }
 }
 
 impl ColumnRead for PackedView<'_> {
@@ -108,6 +157,11 @@ impl ColumnRead for PackedView<'_> {
     #[inline]
     fn row_count(&self) -> usize {
         self.len()
+    }
+
+    #[inline]
+    fn read_batch(&self, start: usize, out: &mut [i32]) {
+        self.get_batch(start, out);
     }
 }
 
@@ -148,6 +202,22 @@ impl ColumnRead for ColumnSlice<'_> {
         match self {
             ColumnSlice::Plain(s) => s.len(),
             ColumnSlice::Packed(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    fn read_batch(&self, start: usize, out: &mut [i32]) {
+        match self {
+            ColumnSlice::Plain(s) => s.read_batch(start, out),
+            ColumnSlice::Packed(v) => v.read_batch(start, out),
+        }
+    }
+
+    #[inline]
+    fn plain(&self) -> Option<&[i32]> {
+        match self {
+            ColumnSlice::Plain(s) => Some(s),
+            ColumnSlice::Packed(_) => None,
         }
     }
 }
