@@ -24,6 +24,11 @@
 //!               ablation-compression
 //!   query-stream cold vs warm DeviceSession residency over a randomized
 //!               query stream (transfer-included vs data-resident)
+//!   contention  multi-tenant serving through the concurrent frontend:
+//!               queries/sec and p50/p99 latency at 1/4/8 tenants vs a
+//!               serial per-tenant replay, byte-identity asserted
+//!               (exits non-zero if a band is missed; --smoke runs the
+//!               4-tenant CI gate only)
 //!   microbench  wall-clock kernel gate: scalar vs chunked selection and
 //!               probe kernels on plain/packed columns; writes
 //!               BENCH_kernels.json (pass --smoke for the CI parity gate)
@@ -85,6 +90,11 @@ fn main() {
             "ablation-skew" => crystal_bench::ablation::skew(&cfg),
             "ablations" => crystal_bench::ablation::run_all(&cfg),
             "query-stream" => crystal_bench::stream::query_stream(&cfg),
+            "contention" => {
+                if !crystal_bench::contention::contention(&cfg, smoke) {
+                    std::process::exit(1);
+                }
+            }
             "microbench" => {
                 if !crystal_bench::kernels::microbench(&cfg, smoke) {
                     std::process::exit(1);
@@ -103,13 +113,14 @@ fn main() {
                 tables::table3(25.0);
                 crystal_bench::ablation::run_all(&cfg);
                 crystal_bench::stream::query_stream(&cfg);
+                crystal_bench::contention::contention(&cfg, smoke);
                 crystal_bench::kernels::microbench(&cfg, smoke);
                 tables::whatif();
                 crystal_bench::scorecard::scorecard(&cfg);
             }
             other => {
                 eprintln!("unknown experiment: {other}");
-                eprintln!("known: table2 fig3 fig9 tile-model fig10 fig12 fig13 fig14 sort fig16 case-study table3 ablations query-stream microbench whatif scorecard all (plus ablation-radix-join ablation-join-order ablation-multi-gpu ablation-agg ablation-compression ablation-hybrid ablation-skew)");
+                eprintln!("known: table2 fig3 fig9 tile-model fig10 fig12 fig13 fig14 sort fig16 case-study table3 ablations query-stream contention microbench whatif scorecard all (plus ablation-radix-join ablation-join-order ablation-multi-gpu ablation-agg ablation-compression ablation-hybrid ablation-skew)");
                 std::process::exit(2);
             }
         }

@@ -15,6 +15,7 @@
 //!   materializing engines), not absolute paper numbers.
 
 pub mod ablation;
+pub mod contention;
 pub mod kernels;
 pub mod micro;
 pub mod scorecard;

@@ -25,4 +25,6 @@
 
 pub mod session;
 
-pub use session::{ColumnKey, DeviceCol, DeviceSession, HostCol, SessionStats};
+pub use session::{
+    ColumnKey, DeviceCol, DeviceSession, HostCol, QueryId, SessionOom, SessionStats,
+};

@@ -13,15 +13,34 @@
 //! `last-use-priority + recreate-cost / bytes` — so a cheap, stale column
 //! is dropped before an expensive, equally stale hash table.
 //!
-//! Entries are handed out as [`Rc`] clones; an entry whose `Rc` is still
-//! held by a running query is pinned and never evicted mid-use. Dropping
-//! the session frees every unpinned cached buffer, so a transient
-//! one-query-per-session use is exactly the old upload/execute/free
-//! lifecycle. A clone that escapes the session's lifetime keeps its
-//! entry's device bytes charged against the [`Gpu`] forever (there is no
-//! safe point to free them); engines therefore drop their clones before
-//! returning.
+//! ## Pinning
+//!
+//! Two mechanisms keep an in-use entry out of the evictor's reach:
+//!
+//! * **Rc pinning** — entries are handed out as [`Rc`] clones; an entry
+//!   whose `Rc` is still held is never evicted. This covers the classic
+//!   run-to-completion engines, which hold their clones for the duration
+//!   of one `execute_*` call.
+//! * **Per-query pin ledgers** — a concurrent frontend interleaving many
+//!   queries registers each query with [`DeviceSession::begin_query`] and
+//!   acquires its working set through [`DeviceSession::pin_column`] /
+//!   [`DeviceSession::pin_hash_table`]. The entry stays pinned until the
+//!   matching [`DeviceSession::end_query`], *independent of any `Rc`
+//!   clones*, so a yielded query that holds no live borrow still cannot
+//!   lose its working set to a competing tenant. Eviction then arbitrates
+//!   only between unpinned (cold) entries; when every cached byte is
+//!   pinned, the fallible `try_*` APIs return a typed [`SessionOom`]
+//!   instead of panicking — the signal an admission controller uses to
+//!   defer a query instead of crashing the server.
+//!
+//! Dropping the session frees every unpinned cached buffer, so a
+//! transient one-query-per-session use is exactly the old
+//! upload/execute/free lifecycle. A clone that escapes the session's
+//! lifetime keeps its entry's device bytes charged against the [`Gpu`]
+//! forever (there is no safe point to free them); engines therefore drop
+//! their clones before returning.
 
+use std::fmt;
 use std::rc::Rc;
 
 use crystal_core::hash::DeviceHashTable;
@@ -38,16 +57,20 @@ use crystal_storage::encoding::Encoding;
 
 use crystal_core::kernels::packed::{block_load_packed, block_load_sel_packed};
 
-/// Cache key of one device-resident column: a caller-assigned column id
-/// plus the physical [`Encoding`] it was uploaded under. The same logical
-/// column packed at two widths is two distinct entries — a query stream
-/// mixing plain and packed runs keeps both warm independently.
+/// Cache key of one device-resident column: the fingerprint of the
+/// dataset it came from, a caller-assigned column id, and the physical
+/// [`Encoding`] it was uploaded under. The same logical column packed at
+/// two widths is two distinct entries — a query stream mixing plain and
+/// packed runs keeps both warm independently.
 ///
-/// A session caches for exactly one dataset; callers replaying different
-/// datasets must use different sessions (the key does not fingerprint the
-/// column's contents).
+/// The `dataset` fingerprint is what makes one session safe to share
+/// across tenants replaying *different* datasets: without it, tenant B's
+/// request for "column 3" would silently hit tenant A's cached bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ColumnKey {
+    /// Fingerprint of the dataset the column belongs to (0 for callers
+    /// that genuinely manage a single dataset, e.g. unit tests).
+    pub dataset: u64,
     /// Caller-assigned column identifier (e.g. a `FactCol` index).
     pub col: u32,
     /// Physical encoding of the cached upload.
@@ -55,13 +78,63 @@ pub struct ColumnKey {
 }
 
 impl ColumnKey {
-    /// Key of a plain 4-byte upload of column `col`.
+    /// Key of a plain 4-byte upload of column `col` in the anonymous
+    /// dataset 0 (single-dataset callers and tests).
     pub fn plain(col: u32) -> Self {
+        Self::for_dataset(0, col)
+    }
+
+    /// Key of a plain 4-byte upload of column `col` in the dataset with
+    /// the given fingerprint.
+    pub fn for_dataset(dataset: u64, col: u32) -> Self {
         ColumnKey {
+            dataset,
             col,
             encoding: Encoding::Plain,
         }
     }
+}
+
+/// Typed out-of-memory error: the session could not satisfy a request
+/// because everything evictable is already gone — every remaining cached
+/// byte is pinned by an in-flight query (or the request simply exceeds
+/// the device). Returned by the fallible `try_*` APIs; an admission
+/// controller treats it as "defer this query until a tenant finishes".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionOom {
+    /// Bytes the failed request needed.
+    pub requested: usize,
+    /// Cached bytes currently pinned (by ledgers or live `Rc` clones).
+    pub pinned_bytes: usize,
+    /// Total cached bytes, pinned or not.
+    pub cached_bytes: usize,
+    /// Bytes still free on the device.
+    pub device_free: usize,
+}
+
+impl fmt::Display for SessionOom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "session out of memory: {} bytes requested, {} free on device, \
+             {} of {} cached bytes pinned by in-flight queries",
+            self.requested, self.device_free, self.pinned_bytes, self.cached_bytes
+        )
+    }
+}
+
+impl std::error::Error for SessionOom {}
+
+/// Token identifying one in-flight query's pin ledger (see
+/// [`DeviceSession::begin_query`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryId(u64);
+
+/// What a ledger entry pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PinRef {
+    Col(ColumnKey),
+    Table(u64),
 }
 
 /// A fact column resident on the device in either physical format.
@@ -199,11 +272,21 @@ struct Entry<T> {
     /// priorities are equal (the inflation value only rises on evictions,
     /// so equal-density entries would otherwise tie).
     last_use: u64,
+    /// Live pin-ledger references (one per `pin_*` call by an in-flight
+    /// query; balanced by `end_query`).
+    pins: u32,
 }
 
 impl<T> Entry<T> {
+    /// An entry may be evicted only when no query ledger pins it *and* no
+    /// handed-out `Rc` clone is alive — the `Rc::try_unwrap` in the
+    /// evictor then cannot fail, so there is no panic path.
+    fn evictable(&self) -> bool {
+        self.pins == 0 && Rc::strong_count(&self.res) == 1
+    }
+
     fn pinned(&self) -> bool {
-        Rc::strong_count(&self.res) > 1
+        !self.evictable()
     }
 }
 
@@ -222,6 +305,10 @@ pub struct DeviceSession<'g> {
     // insertion order).
     cols: Vec<(ColumnKey, Entry<DeviceCol>)>,
     tables: Vec<(u64, Entry<DeviceHashTable>)>,
+    /// Per-query pin ledgers: what each in-flight query holds, unwound as
+    /// one unit by `end_query`.
+    ledger: Vec<(u64, Vec<PinRef>)>,
+    next_query: u64,
     stats: SessionStats,
 }
 
@@ -251,6 +338,8 @@ impl<'g> DeviceSession<'g> {
             seq: 0,
             cols: Vec::new(),
             tables: Vec::new(),
+            ledger: Vec::new(),
+            next_query: 0,
             stats: SessionStats::default(),
         }
     }
@@ -301,10 +390,130 @@ impl<'g> DeviceSession<'g> {
         self.cols.iter().any(|(k, _)| *k == key)
     }
 
+    /// Cached bytes currently pinned — by a query ledger or by a live
+    /// `Rc` clone. An admission controller compares
+    /// `budget - pinned_bytes` against a query's estimated working set.
+    pub fn pinned_bytes(&self) -> usize {
+        self.cols
+            .iter()
+            .filter(|(_, e)| e.pinned())
+            .map(|(_, e)| e.bytes)
+            .sum::<usize>()
+            + self
+                .tables
+                .iter()
+                .filter(|(_, e)| e.pinned())
+                .map(|(_, e)| e.bytes)
+                .sum::<usize>()
+    }
+
+    /// Number of queries with open pin ledgers.
+    pub fn queries_in_flight(&self) -> usize {
+        self.ledger.len()
+    }
+
+    // ---- per-query pin ledger ----
+
+    /// Opens a pin ledger for one query. Every `pin_column` /
+    /// `pin_hash_table` under the returned id stays pinned — immune to
+    /// eviction — until the matching [`DeviceSession::end_query`], even
+    /// while the query is yielded and holds no live `Rc`.
+    pub fn begin_query(&mut self) -> QueryId {
+        self.next_query += 1;
+        self.ledger.push((self.next_query, Vec::new()));
+        QueryId(self.next_query)
+    }
+
+    /// Closes a query's pin ledger, unpinning its working set, and trims
+    /// the cache back within budget. Idempotent on unknown ids.
+    pub fn end_query(&mut self, q: QueryId) {
+        if let Some(i) = self.ledger.iter().position(|(id, _)| *id == q.0) {
+            let (_, pins) = self.ledger.remove(i);
+            for p in pins {
+                match p {
+                    PinRef::Col(key) => {
+                        if let Some((_, e)) = self.cols.iter_mut().find(|(k, _)| *k == key) {
+                            e.pins -= 1;
+                        }
+                    }
+                    PinRef::Table(key) => {
+                        if let Some((_, e)) = self.tables.iter_mut().find(|(k, _)| *k == key) {
+                            e.pins -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.trim();
+    }
+
+    fn record_pin(&mut self, q: QueryId, r: PinRef) {
+        let entry = self
+            .ledger
+            .iter_mut()
+            .find(|(id, _)| *id == q.0)
+            .expect("pin under a query id that was never begun (or already ended)");
+        entry.1.push(r);
+    }
+
+    /// Like [`DeviceSession::try_column`], but additionally pins the entry
+    /// under query `q`'s ledger until `end_query`.
+    pub fn pin_column(
+        &mut self,
+        q: QueryId,
+        key: ColumnKey,
+        host: HostCol<'_>,
+    ) -> Result<Rc<DeviceCol>, SessionOom> {
+        let rc = self.try_column(key, host)?;
+        if let Some((_, e)) = self.cols.iter_mut().find(|(k, _)| *k == key) {
+            e.pins += 1;
+        }
+        self.record_pin(q, PinRef::Col(key));
+        Ok(rc)
+    }
+
+    /// Like [`DeviceSession::try_hash_table`], but additionally pins the
+    /// entry under query `q`'s ledger until `end_query`.
+    pub fn pin_hash_table<F>(
+        &mut self,
+        q: QueryId,
+        key: u64,
+        estimated_bytes: usize,
+        build: F,
+    ) -> Result<(Rc<DeviceHashTable>, Option<KernelReport>), SessionOom>
+    where
+        F: FnOnce(&mut Gpu) -> (DeviceHashTable, KernelReport),
+    {
+        let out = self.try_hash_table(key, estimated_bytes, build)?;
+        if let Some((_, e)) = self.tables.iter_mut().find(|(k, _)| *k == key) {
+            e.pins += 1;
+        }
+        self.record_pin(q, PinRef::Table(key));
+        Ok(out)
+    }
+
+    // ---- cache access ----
+
     /// Returns the device-resident column for `key`, uploading from `host`
     /// on a miss (evicting colder entries first if the budget requires).
     /// The returned [`Rc`] pins the entry against eviction while held.
+    ///
+    /// Panics if the device cannot fit the upload even after evicting
+    /// everything unpinned; concurrent frontends use
+    /// [`DeviceSession::try_column`] / [`DeviceSession::pin_column`] and
+    /// handle the typed error instead.
     pub fn column(&mut self, key: ColumnKey, host: HostCol<'_>) -> Rc<DeviceCol> {
+        self.try_column(key, host).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`DeviceSession::column`]: returns a typed
+    /// [`SessionOom`] when the upload cannot fit because everything left
+    /// on the device is pinned.
+    pub fn try_column(
+        &mut self,
+        key: ColumnKey,
+        host: HostCol<'_>,
+    ) -> Result<Rc<DeviceCol>, SessionOom> {
         if let Some(i) = self.cols.iter().position(|(k, _)| *k == key) {
             self.stats.col_hits += 1;
             self.seq += 1;
@@ -312,7 +521,7 @@ impl<'g> DeviceSession<'g> {
             let e = &mut self.cols[i].1;
             e.h = clock + e.cost / e.bytes.max(1) as f64;
             e.last_use = seq;
-            return Rc::clone(&e.res);
+            return Ok(Rc::clone(&e.res));
         }
         let bytes = host.size_bytes();
         self.make_room(bytes);
@@ -325,11 +534,10 @@ impl<'g> DeviceSession<'g> {
             };
             match attempt {
                 Ok(c) => break c,
-                Err(e) => {
-                    assert!(
-                        self.evict_one(),
-                        "device out of memory and nothing evictable: {e}"
-                    );
+                Err(_) => {
+                    if !self.evict_one() {
+                        return Err(self.oom(bytes));
+                    }
                 }
             }
         };
@@ -344,21 +552,42 @@ impl<'g> DeviceSession<'g> {
             cost,
             h: self.clock + cost / bytes.max(1) as f64,
             last_use: self.seq,
+            pins: 0,
         };
         self.cols.push((key, entry));
-        Rc::clone(&self.cols.last().unwrap().1.res)
+        Ok(Rc::clone(&self.cols.last().unwrap().1.res))
     }
 
     /// Returns the memoized hash table for `key`, running `build` on a
     /// miss. `estimated_bytes` sizes the pre-build eviction pass (for a
     /// perfect-hash dimension table this is `8 * key_range`); the report of
     /// the build kernel is returned only when it actually ran.
+    ///
+    /// Panics when the build-side headroom cannot be freed; concurrent
+    /// frontends use [`DeviceSession::try_hash_table`] /
+    /// [`DeviceSession::pin_hash_table`] instead.
     pub fn hash_table<F>(
         &mut self,
         key: u64,
         estimated_bytes: usize,
         build: F,
     ) -> (Rc<DeviceHashTable>, Option<KernelReport>)
+    where
+        F: FnOnce(&mut Gpu) -> (DeviceHashTable, KernelReport),
+    {
+        self.try_hash_table(key, estimated_bytes, build)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`DeviceSession::hash_table`]: returns a typed
+    /// [`SessionOom`] when even the estimated slot array cannot fit after
+    /// evicting everything unpinned.
+    pub fn try_hash_table<F>(
+        &mut self,
+        key: u64,
+        estimated_bytes: usize,
+        build: F,
+    ) -> Result<(Rc<DeviceHashTable>, Option<KernelReport>), SessionOom>
     where
         F: FnOnce(&mut Gpu) -> (DeviceHashTable, KernelReport),
     {
@@ -369,16 +598,23 @@ impl<'g> DeviceSession<'g> {
             let e = &mut self.tables[i].1;
             e.h = clock + e.cost / e.bytes.max(1) as f64;
             e.last_use = seq;
-            return (Rc::clone(&e.res), None);
+            return Ok((Rc::clone(&e.res), None));
         }
         self.make_room(estimated_bytes);
         // The build needs device headroom beyond the cache budget: the
         // slot array itself plus its staging buffers (keys + payloads,
         // never larger than the slot array for a perfect-hash table).
-        // Evict ahead of time so the panicking allocations inside the
-        // build closure cannot OOM while unpinned entries remain.
+        // Evict ahead of time so the allocations inside the build closure
+        // cannot OOM while unpinned entries remain.
         while self.gpu.spec().mem_capacity - self.gpu.mem_used() < 2 * estimated_bytes {
             if !self.evict_one() {
+                // Could not reach the conservative 2x headroom. If even
+                // the slot array itself no longer fits, the build would
+                // OOM inside the closure — report that as a typed error
+                // instead.
+                if self.gpu.spec().mem_capacity - self.gpu.mem_used() < estimated_bytes {
+                    return Err(self.oom(estimated_bytes));
+                }
                 break;
             }
         }
@@ -395,13 +631,14 @@ impl<'g> DeviceSession<'g> {
             cost,
             h: self.clock + cost / bytes.max(1) as f64,
             last_use: self.seq,
+            pins: 0,
         };
         self.tables.push((key, entry));
         // The build may have pushed the cache past its budget; trim (the
         // fresh entry is pinned by the Rc we are about to return).
         let res = Rc::clone(&self.tables.last().unwrap().1.res);
         self.make_room(0);
-        (res, report.into())
+        Ok((res, report.into()))
     }
 
     /// Re-establishes the budget after a query: a running query may pin a
@@ -410,6 +647,17 @@ impl<'g> DeviceSession<'g> {
     /// their last session interaction.
     pub fn trim(&mut self) {
         self.make_room(0);
+    }
+
+    /// The [`SessionOom`] describing the session's current pressure for a
+    /// request of `requested` bytes.
+    fn oom(&self, requested: usize) -> SessionOom {
+        SessionOom {
+            requested,
+            pinned_bytes: self.pinned_bytes(),
+            cached_bytes: self.stats.cached_bytes,
+            device_free: self.gpu.spec().mem_capacity - self.gpu.mem_used(),
+        }
     }
 
     /// Evicts until `incoming` more bytes would fit in the budget. Stops
@@ -422,8 +670,11 @@ impl<'g> DeviceSession<'g> {
         }
     }
 
-    /// Evicts the unpinned entry with the lowest GreedyDual-Size priority.
-    /// Returns false when nothing is evictable.
+    /// Evicts the evictable entry with the lowest GreedyDual-Size
+    /// priority. Returns false when nothing is evictable — pinned entries
+    /// are excluded from candidacy *before* any buffer is touched, so
+    /// there is no panic path (the old `unreachable!` arms are gone; a
+    /// pinned entry simply never becomes a victim).
     fn evict_one(&mut self) -> bool {
         // The one victim-selection ordering: lowest priority first,
         // LRU tiebreak.
@@ -431,7 +682,7 @@ impl<'g> DeviceSession<'g> {
             entries
                 .iter()
                 .enumerate()
-                .filter(|(_, (_, e))| !e.pinned())
+                .filter(|(_, (_, e))| e.evictable())
                 .map(|(i, (_, e))| (i, e.h, e.last_use))
                 .min_by(|a, b| a.1.total_cmp(&b.1).then(a.2.cmp(&b.2)))
         }
@@ -445,32 +696,70 @@ impl<'g> DeviceSession<'g> {
         };
         if take_col {
             let (i, h, _) = col_victim.unwrap();
-            let (_, e) = self.cols.remove(i);
-            self.clock = self.clock.max(h);
-            self.stats.cached_bytes -= e.bytes;
-            self.stats.evictions += 1;
-            match Rc::try_unwrap(e.res) {
-                Ok(col) => col.free(self.gpu),
-                Err(_) => unreachable!("evicted a pinned column"),
+            let (key, e) = self.cols.remove(i);
+            match Self::unwrap_entry(e) {
+                Ok((col, bytes)) => {
+                    self.clock = self.clock.max(h);
+                    self.stats.cached_bytes -= bytes;
+                    self.stats.evictions += 1;
+                    col.free(self.gpu);
+                }
+                // A clone appeared between candidacy and unwrap (cannot
+                // happen single-threaded, but handled structurally): put
+                // the entry back and report nothing evictable.
+                Err(e) => {
+                    self.cols.insert(i, (key, e));
+                    return false;
+                }
             }
         } else {
             let (i, h, _) = ht_victim.unwrap();
-            let (_, e) = self.tables.remove(i);
-            self.clock = self.clock.max(h);
-            self.stats.cached_bytes -= e.bytes;
-            self.stats.evictions += 1;
-            match Rc::try_unwrap(e.res) {
-                Ok(ht) => ht.free(self.gpu),
-                Err(_) => unreachable!("evicted a pinned hash table"),
+            let (key, e) = self.tables.remove(i);
+            match Self::unwrap_entry(e) {
+                Ok((ht, bytes)) => {
+                    self.clock = self.clock.max(h);
+                    self.stats.cached_bytes -= bytes;
+                    self.stats.evictions += 1;
+                    ht.free(self.gpu);
+                }
+                Err(e) => {
+                    self.tables.insert(i, (key, e));
+                    return false;
+                }
             }
         }
         true
     }
 
+    /// Takes sole ownership of an entry's resource, or rebuilds the entry
+    /// intact if an `Rc` clone is still alive.
+    fn unwrap_entry<T>(e: Entry<T>) -> Result<(T, usize), Entry<T>> {
+        let Entry {
+            res,
+            bytes,
+            cost,
+            h,
+            last_use,
+            pins,
+        } = e;
+        match Rc::try_unwrap(res) {
+            Ok(r) => Ok((r, bytes)),
+            Err(res) => Err(Entry {
+                res,
+                bytes,
+                cost,
+                h,
+                last_use,
+                pins,
+            }),
+        }
+    }
+
     /// Drops every cached entry, freeing its device memory. Entries still
-    /// pinned by outstanding [`Rc`] clones are *retained* (still tracked,
-    /// still accounted), so the budget arithmetic stays truthful; they
-    /// become evictable again once their clones drop.
+    /// pinned — by outstanding [`Rc`] clones or an open query ledger —
+    /// are *retained* (still tracked, still accounted), so the budget
+    /// arithmetic stays truthful; they become evictable again once their
+    /// pins drop.
     pub fn clear(&mut self) {
         fn drain<K, T>(
             entries: &mut Vec<(K, Entry<T>)>,
@@ -478,28 +767,16 @@ impl<'g> DeviceSession<'g> {
             mut free: impl FnMut(T),
         ) {
             for (key, e) in std::mem::take(entries) {
-                let Entry {
-                    res,
-                    bytes,
-                    cost,
-                    h,
-                    last_use,
-                } = e;
-                match Rc::try_unwrap(res) {
-                    Ok(r) => {
+                if e.pins > 0 {
+                    entries.push((key, e));
+                    continue;
+                }
+                match DeviceSession::unwrap_entry(e) {
+                    Ok((r, bytes)) => {
                         *cached_bytes -= bytes;
                         free(r);
                     }
-                    Err(res) => entries.push((
-                        key,
-                        Entry {
-                            res,
-                            bytes,
-                            cost,
-                            h,
-                            last_use,
-                        },
-                    )),
+                    Err(e) => entries.push((key, e)),
                 }
             }
         }
@@ -514,29 +791,53 @@ impl<'g> DeviceSession<'g> {
     // ---- per-query scratch (outside the cache budget) ----
 
     /// Allocates zero-initialized per-query scratch (aggregate tables,
-    /// survivor flags); pair with [`DeviceSession::free_scratch`].
+    /// survivor flags); pair with [`DeviceSession::free_scratch`]. Panics
+    /// when nothing evictable remains; see
+    /// [`DeviceSession::try_alloc_scratch_zeroed`].
     pub fn alloc_scratch_zeroed<T: Copy + Default>(&mut self, len: usize) -> DeviceBuffer<T> {
+        self.try_alloc_scratch_zeroed(len)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`DeviceSession::alloc_scratch_zeroed`].
+    pub fn try_alloc_scratch_zeroed<T: Copy + Default>(
+        &mut self,
+        len: usize,
+    ) -> Result<DeviceBuffer<T>, SessionOom> {
         let bytes = len * std::mem::size_of::<T>();
         loop {
             match self.gpu.try_alloc_zeroed::<T>(len) {
-                Ok(b) => return b,
-                Err(e) => assert!(
-                    self.evict_one(),
-                    "scratch of {bytes} bytes does not fit and nothing is evictable: {e}"
-                ),
+                Ok(b) => return Ok(b),
+                Err(_) => {
+                    if !self.evict_one() {
+                        return Err(self.oom(bytes));
+                    }
+                }
             }
         }
     }
 
-    /// Allocates per-query scratch initialized from `data`.
+    /// Allocates per-query scratch initialized from `data`. Panics when
+    /// nothing evictable remains; see
+    /// [`DeviceSession::try_alloc_scratch_from`].
     pub fn alloc_scratch_from<T: Copy + Default>(&mut self, data: &[T]) -> DeviceBuffer<T> {
+        self.try_alloc_scratch_from(data)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`DeviceSession::alloc_scratch_from`].
+    pub fn try_alloc_scratch_from<T: Copy + Default>(
+        &mut self,
+        data: &[T],
+    ) -> Result<DeviceBuffer<T>, SessionOom> {
         loop {
             match self.gpu.try_alloc_from(data) {
-                Ok(b) => return b,
-                Err(e) => assert!(
-                    self.evict_one(),
-                    "scratch upload does not fit and nothing is evictable: {e}"
-                ),
+                Ok(b) => return Ok(b),
+                Err(_) => {
+                    if !self.evict_one() {
+                        return Err(self.oom(std::mem::size_of_val(data)));
+                    }
+                }
             }
         }
     }
@@ -587,6 +888,7 @@ mod tests {
         let packed = PackedColumn::pack(&data, 12).unwrap();
         let _p = s.column(ColumnKey::plain(3), HostCol::Plain(&data));
         let k = ColumnKey {
+            dataset: 0,
             col: 3,
             encoding: Encoding::BitPacked { bits: 12 },
         };
@@ -594,6 +896,28 @@ mod tests {
         assert_eq!(s.stats().col_misses, 2);
         assert!(s.is_resident(ColumnKey::plain(3)) && s.is_resident(k));
         assert_eq!(s.stats().cached_bytes, 4096 * 4 + packed.words().len() * 8);
+    }
+
+    /// The same column id under two dataset fingerprints is two distinct
+    /// entries — the aliasing regression a shared multi-tenant session
+    /// used to hit.
+    #[test]
+    fn same_column_id_different_datasets_do_not_alias() {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let mut s = DeviceSession::new(&mut gpu);
+        let a: Vec<i32> = (0..1000).collect();
+        let b: Vec<i32> = (0..1000).map(|v| -v).collect();
+        let ka = ColumnKey::for_dataset(0xAAAA, 0);
+        let kb = ColumnKey::for_dataset(0xBBBB, 0);
+        let ra = s.column(ka, HostCol::Plain(&a));
+        let rb = s.column(kb, HostCol::Plain(&b));
+        assert_eq!(s.stats().col_misses, 2, "second dataset must not hit");
+        assert_eq!(ra.plain().as_slice(), &a[..]);
+        assert_eq!(rb.plain().as_slice(), &b[..], "aliased bytes returned");
+        drop((ra, rb));
+        let again = s.column(kb, HostCol::Plain(&b));
+        assert_eq!(s.stats().col_hits, 1);
+        assert_eq!(again.plain().as_slice(), &b[..]);
     }
 
     #[test]
@@ -628,6 +952,61 @@ mod tests {
         assert!(s.is_resident(ColumnKey::plain(0)));
         assert!(!s.is_resident(ColumnKey::plain(1)));
         drop(pinned);
+    }
+
+    /// A ledger pin protects an entry even after every `Rc` clone is
+    /// dropped — the property a yielded concurrent query depends on.
+    #[test]
+    fn ledger_pins_survive_pressure_without_live_rcs() {
+        let mut gpu = small_gpu(1 << 20);
+        let mut s = DeviceSession::with_budget(&mut gpu, 600_000);
+        let data: Vec<i32> = (0..65_536).collect();
+        let q = s.begin_query();
+        drop(
+            s.pin_column(q, ColumnKey::plain(0), HostCol::Plain(&data))
+                .unwrap(),
+        );
+        assert!(s.pinned_bytes() >= data.len() * 4);
+        drop(s.column(ColumnKey::plain(1), HostCol::Plain(&data)));
+        drop(s.column(ColumnKey::plain(2), HostCol::Plain(&data)));
+        // Col 0 holds no Rc but is ledger-pinned: col 1 is the victim.
+        assert!(s.is_resident(ColumnKey::plain(0)), "ledger pin ignored");
+        assert!(!s.is_resident(ColumnKey::plain(1)));
+        s.end_query(q);
+        assert_eq!(s.pinned_bytes(), 0);
+        assert_eq!(s.queries_in_flight(), 0);
+        // Unpinned now: fresh pressure may evict col 0.
+        drop(s.column(ColumnKey::plain(3), HostCol::Plain(&data)));
+        drop(s.column(ColumnKey::plain(4), HostCol::Plain(&data)));
+        assert!(!s.is_resident(ColumnKey::plain(0)), "unpinned entry kept");
+    }
+
+    /// When every cached byte is pinned the fallible APIs return the
+    /// typed [`SessionOom`] — no panic, no `unreachable!`.
+    #[test]
+    fn exhausted_pins_yield_typed_oom_not_panic() {
+        let mut gpu = small_gpu(1 << 20); // 1 MB device
+        let mut s = DeviceSession::with_budget(&mut gpu, 1 << 20);
+        let data: Vec<i32> = (0..200_000).collect(); // 800 KB
+        let q = s.begin_query();
+        let _rc = s
+            .pin_column(q, ColumnKey::plain(0), HostCol::Plain(&data))
+            .unwrap();
+        // 800 KB more cannot fit beside the pinned 800 KB on a 1 MB card.
+        let err = s.try_column(ColumnKey::plain(1), HostCol::Plain(&data));
+        let oom = err.expect_err("second column must not fit");
+        assert_eq!(oom.requested, 800_000);
+        assert_eq!(oom.pinned_bytes, 800_000);
+        assert!(oom.device_free < 800_000);
+        // Scratch under the same pressure: typed error too.
+        let scratch = s.try_alloc_scratch_zeroed::<i64>(100_000);
+        assert!(scratch.is_err());
+        // The session stays fully usable afterwards.
+        s.end_query(q);
+        drop(_rc);
+        assert!(s
+            .try_column(ColumnKey::plain(1), HostCol::Plain(&data))
+            .is_ok());
     }
 
     #[test]
@@ -725,6 +1104,24 @@ mod tests {
             assert_eq!(s.stats().cached_bytes, 0);
         }
         assert_eq!(gpu.mem_used(), 0);
+    }
+
+    /// `clear` also retains ledger-pinned entries (no live `Rc` needed).
+    #[test]
+    fn clear_retains_ledger_pinned_entries() {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let mut s = DeviceSession::new(&mut gpu);
+        let data: Vec<i32> = (0..1000).collect();
+        let q = s.begin_query();
+        drop(
+            s.pin_column(q, ColumnKey::plain(0), HostCol::Plain(&data))
+                .unwrap(),
+        );
+        s.clear();
+        assert!(s.is_resident(ColumnKey::plain(0)), "ledger pin ignored");
+        s.end_query(q);
+        s.clear();
+        assert_eq!(s.stats().cached_bytes, 0);
     }
 
     #[test]

@@ -1,0 +1,607 @@
+//! # crystal-server — a concurrent multi-tenant query frontend
+//!
+//! The evaluation sections of the paper run one query at a time; a real
+//! deployment serves many tenants against one host and one device. This
+//! crate adds the missing frontend: a deterministic, discrete-time
+//! scheduler that admits queries from N tenant streams under a
+//! concurrency and device-memory budget, interleaves execution as
+//! **morsel grants** with deficit-round-robin fairness across tenants,
+//! and overlaps the host executor with the shared
+//! [`DeviceSession`] — the paper's data-resident regime, now shared
+//! between tenants instead of rebuilt per stream.
+//!
+//! ## The model
+//!
+//! Time is simulated, not measured: the host charge for a grant is the
+//! Section 3.1 scan bound pro-rated to the granted rows, the device
+//! charge is the simulated kernel time the grant actually launched (plus
+//! PCIe transfer and build time at admission). Two resource clocks —
+//! host and device — advance independently, which is what models the
+//! coprocessor overlap; the makespan is the later of the two when the
+//! last query completes. Because all charges derive from the same
+//! deterministic simulator and cost models, every run of [`serve`] over
+//! the same streams produces byte-identical results *and* timings.
+//!
+//! ## Scheduling policy
+//!
+//! * **Closed loop per tenant** — at most one in-flight query per
+//!   tenant, plus a global [`ServerConfig::max_inflight`] cap.
+//! * **Placement at admission** — each query is routed by the
+//!   residency-aware cost model
+//!   (`copro::choose_placement_session`); additionally, an otherwise
+//!   *idle* device is offered cost-model-Host queries
+//!   ([`ServerConfig::offload_idle_device`]): the device's cycles are
+//!   free while the host is the contended resource, and the uploads it
+//!   pays warm the shared cache, flipping later placements for every
+//!   tenant at once.
+//! * **Admission control** — device placement pins the query's working
+//!   set through the session's pin ledger
+//!   ([`DeviceQueryJob::admit`]); a typed
+//!   [`SessionOom`](crystal_runtime::SessionOom) simply
+//!   falls the query back to the host instead of panicking or evicting
+//!   another tenant's pinned set.
+//! * **Deficit round robin** — each grant opportunity adds a morsel
+//!   quantum to the chosen tenant's deficit and grants at most that many
+//!   rows, so long queries cannot starve short ones and the p99/p50
+//!   latency ratio stays bounded under contention.
+//!
+//! Splitting a query into grants changes neither the per-block tile
+//! schedule nor the order of the commutative integer aggregate updates,
+//! so the served results are byte-identical to a serial replay of the
+//! same streams — the property the concurrent differential suite
+//! asserts against [`serve_serial`].
+
+use crystal_cpu::exec::MORSEL_SIZE;
+use crystal_gpu_sim::Gpu;
+use crystal_hardware::{CpuSpec, PcieSpec};
+use crystal_runtime::{DeviceSession, SessionStats};
+use crystal_ssb::encoding::FactEncodings;
+use crystal_ssb::engines::copro::{self, Placement};
+use crystal_ssb::engines::gpu::DeviceQueryJob;
+use crystal_ssb::exec::{HostQueryJob, PipelineMode};
+use crystal_ssb::plan::StarQuery;
+use crystal_ssb::{QueryResult, SsbData};
+
+/// Knobs of the multi-tenant frontend.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Global cap on concurrently admitted queries (the per-tenant
+    /// closed loop already caps each tenant at one).
+    pub max_inflight: usize,
+    /// Deficit-round-robin quantum, in morsels per grant opportunity.
+    pub quantum_morsels: usize,
+    /// Rows per morsel (defaults to the host executor's
+    /// [`MORSEL_SIZE`]).
+    pub morsel_rows: usize,
+    /// Optional device cache budget in bytes (see
+    /// [`DeviceSession::with_budget`]); `None` uses the full device.
+    pub device_budget: Option<usize>,
+    /// Route a cost-model-Host query to the device when no device query
+    /// is in flight: the idle device's time is free while the host is
+    /// contended, and its uploads warm the shared cache for everyone.
+    pub offload_idle_device: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_inflight: 4,
+            quantum_morsels: 4,
+            morsel_rows: MORSEL_SIZE,
+            device_budget: None,
+            offload_idle_device: true,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn quantum_rows(&self) -> usize {
+        (self.quantum_morsels * self.morsel_rows).max(1)
+    }
+}
+
+/// Which executor a query ran on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The morsel-driven CPU executor.
+    Host,
+    /// The Crystal engine through the shared [`DeviceSession`].
+    Device,
+}
+
+/// One served query with its timing and its (byte-exact) result.
+#[derive(Debug, Clone)]
+pub struct CompletedQuery {
+    /// Tenant the query came from.
+    pub tenant: usize,
+    /// Position in that tenant's stream.
+    pub index: usize,
+    pub backend: Backend,
+    /// Simulated time at admission.
+    pub admitted_at: f64,
+    /// Simulated time at completion (on the backend's clock).
+    pub completed_at: f64,
+    pub result: QueryResult,
+}
+
+impl CompletedQuery {
+    /// Queueing plus execution latency, simulated seconds.
+    pub fn latency(&self) -> f64 {
+        self.completed_at - self.admitted_at
+    }
+}
+
+/// Outcome of serving a set of tenant streams.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Every query, in completion order.
+    pub completed: Vec<CompletedQuery>,
+    /// Simulated wall time until the last completion: the later of the
+    /// two resource clocks (host and device run in parallel).
+    pub makespan_secs: f64,
+    /// Simulated seconds the host executor spent on grants.
+    pub host_busy_secs: f64,
+    /// Simulated seconds the device spent on transfers, builds and
+    /// kernel grants.
+    pub device_busy_secs: f64,
+    /// Device session counters at the end of the run (summed across the
+    /// per-tenant sessions for [`serve_serial`]).
+    pub stats: SessionStats,
+}
+
+impl ServeReport {
+    /// Served throughput over the simulated makespan.
+    pub fn queries_per_sec(&self) -> f64 {
+        self.completed.len() as f64 / self.makespan_secs.max(1e-30)
+    }
+
+    /// Latency percentile (`p` in 0..=100) over every served query.
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        let mut lat: Vec<f64> = self.completed.iter().map(CompletedQuery::latency).collect();
+        if lat.is_empty() {
+            return 0.0;
+        }
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((p / 100.0) * (lat.len() - 1) as f64).round() as usize;
+        lat[idx]
+    }
+
+    /// Queries that ran on the device.
+    pub fn device_queries(&self) -> usize {
+        self.completed
+            .iter()
+            .filter(|c| c.backend == Backend::Device)
+            .count()
+    }
+
+    /// One tenant's results in stream order (for byte-identity checks).
+    pub fn tenant_results(&self, tenant: usize) -> Vec<&QueryResult> {
+        let mut rows: Vec<(usize, &QueryResult)> = self
+            .completed
+            .iter()
+            .filter(|c| c.tenant == tenant)
+            .map(|c| (c.index, &c.result))
+            .collect();
+        rows.sort_by_key(|(i, _)| *i);
+        rows.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+enum Job<'a> {
+    Host(Box<HostQueryJob<'a>>),
+    Device(Box<DeviceQueryJob<'a>>),
+}
+
+struct InFlight<'a> {
+    tenant: usize,
+    index: usize,
+    admitted_at: f64,
+    backend: Backend,
+    /// Host scan-bound seconds per granted row (0 for device jobs).
+    per_row_host_secs: f64,
+    /// Device kernel seconds already charged to the device clock.
+    charged_dev_secs: f64,
+    job: Job<'a>,
+}
+
+/// Serves `tenants` (one query stream per tenant) through one shared
+/// host executor and one shared [`DeviceSession`], interleaved as
+/// deficit-round-robin morsel grants. Deterministic: same streams, same
+/// results, same simulated timings.
+pub fn serve<'a>(
+    gpu: &mut Gpu,
+    cpu: &CpuSpec,
+    pcie: &PcieSpec,
+    d: &'a SsbData,
+    tenants: &'a [Vec<StarQuery>],
+    cfg: &ServerConfig,
+) -> ServeReport {
+    let mut sess = match cfg.device_budget {
+        Some(b) => DeviceSession::with_budget(gpu, b),
+        None => DeviceSession::new(gpu),
+    };
+    let enc = FactEncodings::plain();
+    let nt = tenants.len();
+    let n_rows = d.lineorder.rows().max(1);
+    let quantum = cfg.quantum_rows() as f64;
+
+    let mut next_q = vec![0usize; nt];
+    let mut deficit = vec![0.0f64; nt];
+    let mut inflight: Vec<InFlight<'a>> = Vec::new();
+    let mut completed: Vec<CompletedQuery> = Vec::new();
+    let (mut host_clock, mut dev_clock) = (0.0f64, 0.0f64);
+    let (mut host_busy, mut dev_busy) = (0.0f64, 0.0f64);
+    // Time of the latest completion event processed — the scheduler's
+    // "now" for admission decisions.
+    let mut now = 0.0f64;
+    let (mut admit_ptr, mut host_ptr, mut dev_ptr) = (0usize, 0usize, 0usize);
+
+    loop {
+        // Admission: fill free slots round-robin across tenants with
+        // pending work and nothing in flight.
+        while inflight.len() < cfg.max_inflight.max(1) {
+            let mut admitted = false;
+            for k in 0..nt {
+                let t = (admit_ptr + k) % nt;
+                if next_q[t] >= tenants[t].len() || inflight.iter().any(|j| j.tenant == t) {
+                    continue;
+                }
+                let idx = next_q[t];
+                let q = &tenants[t][idx];
+                let choice = copro::choose_placement_session(&sess, d, q, &enc, cpu, pcie);
+                let device_busy_now = inflight.iter().any(|j| j.backend == Backend::Device);
+                let host_busy_now = inflight.iter().any(|j| j.backend == Backend::Host);
+                // Idle-resource steering keeps both executors busy:
+                // an idle device is offered the query even when the
+                // cost model says Host (its cycles are free and its
+                // uploads warm the shared cache); symmetrically, an
+                // idle host keeps a query even when the warm model
+                // says Coprocessor. With both busy, the residency-
+                // aware cost model decides.
+                let want_device = if cfg.offload_idle_device && !device_busy_now {
+                    true
+                } else if cfg.offload_idle_device && !host_busy_now {
+                    false
+                } else {
+                    choice.placement == Placement::Coprocessor
+                };
+                let mut placed = None;
+                if want_device {
+                    let before = sess.stats().clone();
+                    // Admission control: pin the working set under the
+                    // session's ledger; an OOM falls back to the host.
+                    if let Ok(job) = DeviceQueryJob::admit(&mut sess, d, None, q) {
+                        let uploaded = sess.stats().uploaded_since(&before);
+                        let setup = pcie.transfer_secs(uploaded) + job.sim_secs_so_far();
+                        dev_clock = dev_clock.max(now) + setup;
+                        dev_busy += setup;
+                        placed = Some(InFlight {
+                            tenant: t,
+                            index: idx,
+                            admitted_at: now,
+                            backend: Backend::Device,
+                            per_row_host_secs: 0.0,
+                            charged_dev_secs: job.sim_secs_so_far(),
+                            job: Job::Device(Box::new(job)),
+                        });
+                    }
+                }
+                let job = placed.unwrap_or_else(|| {
+                    host_clock = host_clock.max(now);
+                    InFlight {
+                        tenant: t,
+                        index: idx,
+                        admitted_at: now,
+                        backend: Backend::Host,
+                        per_row_host_secs: choice.host_secs / n_rows as f64,
+                        charged_dev_secs: 0.0,
+                        job: Job::Host(Box::new(HostQueryJob::new(d, q, PipelineMode::Vectorized))),
+                    }
+                });
+                next_q[t] += 1;
+                inflight.push(job);
+                admit_ptr = (t + 1) % nt;
+                admitted = true;
+                break;
+            }
+            if !admitted {
+                break;
+            }
+        }
+
+        if inflight.is_empty() {
+            // Nothing running and (since host admission is infallible)
+            // nothing left to admit: the streams are drained.
+            debug_assert!((0..nt).all(|t| next_q[t] >= tenants[t].len()));
+            break;
+        }
+
+        // Grant on the resource whose clock lags (that is what runs
+        // "next" when both are busy; a resource without jobs idles).
+        let has_host = inflight.iter().any(|j| j.backend == Backend::Host);
+        let has_dev = inflight.iter().any(|j| j.backend == Backend::Device);
+        let res = match (has_host, has_dev) {
+            (true, true) => {
+                if host_clock <= dev_clock {
+                    Backend::Host
+                } else {
+                    Backend::Device
+                }
+            }
+            (true, false) => Backend::Host,
+            _ => Backend::Device,
+        };
+
+        // Deficit round robin across tenants with a job on this resource.
+        let ptr = if res == Backend::Host {
+            &mut host_ptr
+        } else {
+            &mut dev_ptr
+        };
+        let (t, pos) = (0..nt)
+            .filter_map(|k| {
+                let t = (*ptr + k) % nt;
+                inflight
+                    .iter()
+                    .position(|j| j.tenant == t && j.backend == res)
+                    .map(|pos| (t, pos))
+            })
+            .next()
+            .expect("a job exists on the granted resource");
+        *ptr = (t + 1) % nt;
+        deficit[t] += quantum;
+        let j = &mut inflight[pos];
+        let remaining = match &j.job {
+            Job::Host(h) => h.remaining_rows(),
+            Job::Device(g) => g.remaining_rows(),
+        };
+        let grant = remaining.min(deficit[t] as usize).max(1);
+        deficit[t] -= grant as f64;
+
+        let done = match &mut j.job {
+            Job::Host(h) => {
+                let done = h.step(grant);
+                let secs = grant as f64 * j.per_row_host_secs;
+                host_clock += secs;
+                host_busy += secs;
+                done
+            }
+            Job::Device(g) => {
+                let done = g.step(&mut sess, grant);
+                let total = g.sim_secs_so_far();
+                let delta = total - j.charged_dev_secs;
+                j.charged_dev_secs = total;
+                dev_clock += delta;
+                dev_busy += delta;
+                done
+            }
+        };
+
+        if done {
+            let j = inflight.swap_remove(pos);
+            deficit[j.tenant] = 0.0;
+            let completed_at = match j.backend {
+                Backend::Host => host_clock,
+                Backend::Device => dev_clock,
+            };
+            now = now.max(completed_at);
+            let result = match j.job {
+                Job::Host(h) => h.finish().0,
+                Job::Device(g) => g.finish(&mut sess).result,
+            };
+            completed.push(CompletedQuery {
+                tenant: j.tenant,
+                index: j.index,
+                backend: j.backend,
+                admitted_at: j.admitted_at,
+                completed_at,
+                result,
+            });
+        }
+    }
+
+    let stats = sess.stats().clone();
+    ServeReport {
+        completed,
+        makespan_secs: host_clock.max(dev_clock),
+        host_busy_secs: host_busy,
+        device_busy_secs: dev_busy,
+        stats,
+    }
+}
+
+/// The serial baseline: each tenant replayed to completion in turn
+/// through a **fresh** device session (today's one-tenant-per-session
+/// lifecycle), every query run whole where the residency-aware cost
+/// model places it. Same per-grant cost model as [`serve`], one clock,
+/// no overlap — the denominator of the contention speedup.
+pub fn serve_serial(
+    gpu: &mut Gpu,
+    cpu: &CpuSpec,
+    pcie: &PcieSpec,
+    d: &SsbData,
+    tenants: &[Vec<StarQuery>],
+    cfg: &ServerConfig,
+) -> ServeReport {
+    let enc = FactEncodings::plain();
+    let mut clock = 0.0f64;
+    let (mut host_busy, mut dev_busy) = (0.0f64, 0.0f64);
+    let mut completed = Vec::new();
+    let mut stats = SessionStats::default();
+
+    for (t, stream) in tenants.iter().enumerate() {
+        let mut sess = match cfg.device_budget {
+            Some(b) => DeviceSession::with_budget(gpu, b),
+            None => DeviceSession::new(gpu),
+        };
+        for (idx, q) in stream.iter().enumerate() {
+            let admitted_at = clock;
+            let choice = copro::choose_placement_session(&sess, d, q, &enc, cpu, pcie);
+            let mut served = None;
+            if choice.placement == Placement::Coprocessor {
+                let before = sess.stats().clone();
+                if let Ok(mut job) = DeviceQueryJob::admit(&mut sess, d, None, q) {
+                    let done = job.step(&mut sess, usize::MAX);
+                    debug_assert!(done);
+                    let uploaded = sess.stats().uploaded_since(&before);
+                    let run = job.finish(&mut sess);
+                    let secs = pcie.transfer_secs(uploaded) + run.sim_secs();
+                    dev_busy += secs;
+                    clock += secs;
+                    served = Some((Backend::Device, run.result));
+                }
+            }
+            let (backend, result) = served.unwrap_or_else(|| {
+                let mut job = HostQueryJob::new(d, q, PipelineMode::Vectorized);
+                let done = job.step(usize::MAX);
+                debug_assert!(done);
+                host_busy += choice.host_secs;
+                clock += choice.host_secs;
+                (Backend::Host, job.finish().0)
+            });
+            completed.push(CompletedQuery {
+                tenant: t,
+                index: idx,
+                backend,
+                admitted_at,
+                completed_at: clock,
+                result,
+            });
+        }
+        accumulate(&mut stats, sess.stats());
+    }
+
+    ServeReport {
+        completed,
+        makespan_secs: clock,
+        host_busy_secs: host_busy,
+        device_busy_secs: dev_busy,
+        stats,
+    }
+}
+
+/// Sums session counters across the per-tenant serial sessions.
+fn accumulate(acc: &mut SessionStats, s: &SessionStats) {
+    acc.col_hits += s.col_hits;
+    acc.col_misses += s.col_misses;
+    acc.ht_hits += s.ht_hits;
+    acc.ht_misses += s.ht_misses;
+    acc.evictions += s.evictions;
+    acc.uploaded_bytes += s.uploaded_bytes;
+    acc.build_secs += s.build_secs;
+    acc.cached_bytes = s.cached_bytes;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crystal_hardware::{intel_i7_6900, nvidia_v100, pcie_gen3};
+    use crystal_ssb::arbitrary::random_star_query;
+    use crystal_ssb::engines::reference;
+
+    fn data() -> SsbData {
+        SsbData::generate_scaled(1, 0.002, 20_260_730)
+    }
+
+    fn streams(d: &SsbData, tenants: usize, per_tenant: usize) -> Vec<Vec<StarQuery>> {
+        (0..tenants)
+            .map(|t| {
+                (0..per_tenant)
+                    .map(|i| random_star_query(d, 20_260_730 + (t * per_tenant + i) as u64 % 6))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Every served result matches the reference oracle, for every
+    /// tenant, on both the concurrent and the serial path.
+    #[test]
+    fn served_results_match_the_oracle() {
+        let d = data();
+        let tenants = streams(&d, 3, 4);
+        let cpu = intel_i7_6900();
+        let pcie = pcie_gen3();
+        let cfg = ServerConfig::default();
+        let mut gpu = Gpu::new(nvidia_v100());
+        let conc = serve(&mut gpu, &cpu, &pcie, &d, &tenants, &cfg);
+        let mut gpu2 = Gpu::new(nvidia_v100());
+        let serial = serve_serial(&mut gpu2, &cpu, &pcie, &d, &tenants, &cfg);
+        assert_eq!(conc.completed.len(), 12);
+        assert_eq!(serial.completed.len(), 12);
+        for (t, stream) in tenants.iter().enumerate() {
+            let got = conc.tenant_results(t);
+            let ser = serial.tenant_results(t);
+            for (i, q) in stream.iter().enumerate() {
+                let expected = reference::execute(&d, q);
+                assert_eq!(*got[i], expected, "tenant {t} query {i} (concurrent)");
+                assert_eq!(*ser[i], expected, "tenant {t} query {i} (serial)");
+            }
+        }
+    }
+
+    /// The scheduler is deterministic: two runs over the same streams
+    /// produce identical completions and identical clocks.
+    #[test]
+    fn serving_is_deterministic() {
+        let d = data();
+        let tenants = streams(&d, 4, 3);
+        let cpu = intel_i7_6900();
+        let pcie = pcie_gen3();
+        let cfg = ServerConfig::default();
+        let mut g1 = Gpu::new(nvidia_v100());
+        let a = serve(&mut g1, &cpu, &pcie, &d, &tenants, &cfg);
+        let mut g2 = Gpu::new(nvidia_v100());
+        let b = serve(&mut g2, &cpu, &pcie, &d, &tenants, &cfg);
+        assert_eq!(a.makespan_secs, b.makespan_secs);
+        assert_eq!(a.completed.len(), b.completed.len());
+        for (x, y) in a.completed.iter().zip(&b.completed) {
+            assert_eq!((x.tenant, x.index), (y.tenant, y.index));
+            assert_eq!(x.result, y.result);
+            assert_eq!(x.completed_at, y.completed_at);
+        }
+    }
+
+    /// Admission under a starved device budget falls queries back to the
+    /// host instead of panicking, and the answers still hold.
+    #[test]
+    fn starved_device_budget_degrades_to_the_host() {
+        let d = data();
+        let tenants = streams(&d, 2, 3);
+        let cpu = intel_i7_6900();
+        let pcie = pcie_gen3();
+        let cfg = ServerConfig::default();
+        // A device too small for any working set (one fact column is
+        // ~48KB here): every device admission OOMs through the ledger.
+        let mut spec = nvidia_v100();
+        spec.mem_capacity = 16 * 1024;
+        let mut gpu = Gpu::new(spec);
+        let report = serve(&mut gpu, &cpu, &pcie, &d, &tenants, &cfg);
+        assert_eq!(report.completed.len(), 6);
+        assert_eq!(report.device_queries(), 0, "nothing fits the budget");
+        for (t, stream) in tenants.iter().enumerate() {
+            let got = report.tenant_results(t);
+            for (i, q) in stream.iter().enumerate() {
+                assert_eq!(*got[i], reference::execute(&d, q), "tenant {t} query {i}");
+            }
+        }
+    }
+
+    /// The idle-device offload warms the shared cache: a repeated-shape
+    /// workload ends with device placements and cache hits.
+    #[test]
+    fn idle_device_offload_warms_the_shared_cache() {
+        let d = data();
+        let tenants = streams(&d, 4, 4);
+        let cpu = intel_i7_6900();
+        let pcie = pcie_gen3();
+        let cfg = ServerConfig::default();
+        let mut gpu = Gpu::new(nvidia_v100());
+        let report = serve(&mut gpu, &cpu, &pcie, &d, &tenants, &cfg);
+        assert!(report.device_queries() > 0, "offload never engaged");
+        assert!(
+            report.stats.col_hits > 0,
+            "tenants never shared residency: {:?}",
+            report.stats
+        );
+    }
+}

@@ -147,6 +147,21 @@ pub struct SsbData {
     pub supplier: SupplierDim,
     pub customer: CustomerDim,
     pub dicts: SsbDicts,
+    /// Content fingerprint computed at generation time (see
+    /// [`SsbData::fingerprint`]); private so it cannot drift from the
+    /// data it summarizes.
+    fingerprint: u64,
+}
+
+/// One multiply-xor step of the dataset fingerprint.
+fn fp_mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(29)
+}
+
+/// Folds a whole column (length first, then every value) into `h`.
+fn fp_col(h: u64, col: &[i32]) -> u64 {
+    col.iter()
+        .fold(fp_mix(h, col.len() as u64), |acc, &v| fp_mix(acc, v as u64))
 }
 
 /// SSB part-table cardinality: `200,000 x (1 + floor(log2 SF))`.
@@ -205,7 +220,7 @@ impl SsbData {
             customer.custkey.len(),
             seed ^ 0x4,
         );
-        SsbData {
+        let mut d = SsbData {
             sf,
             lineorder,
             date,
@@ -213,7 +228,74 @@ impl SsbData {
             supplier,
             customer,
             dicts,
+            fingerprint: 0,
+        };
+        d.fingerprint = d.compute_fingerprint();
+        d
+    }
+
+    /// A 64-bit content fingerprint of the generated database. It
+    /// identifies the dataset to shared infrastructure — most importantly
+    /// the [`crystal_runtime::ColumnKey`] of a `DeviceSession` shared by
+    /// tenants replaying *different* datasets, where a bare column id
+    /// would silently alias one tenant's cached bytes to another.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Multiply-xor fold over every fact column and every dimension key /
+    /// attribute column (lengths included), so any two generations that
+    /// differ anywhere in seed, scale, or content get distinct keys.
+    fn compute_fingerprint(&self) -> u64 {
+        let mut h = fp_mix(0xC0FF_EE00_5EED_5EED, self.sf as u64);
+        let lo = &self.lineorder;
+        for col in [
+            &lo.orderdate,
+            &lo.custkey,
+            &lo.partkey,
+            &lo.suppkey,
+            &lo.quantity,
+            &lo.discount,
+            &lo.extendedprice,
+            &lo.revenue,
+            &lo.supplycost,
+        ] {
+            h = fp_col(h, col);
         }
+        for col in [
+            &self.date.datekey,
+            &self.date.year,
+            &self.date.yearmonthnum,
+            &self.date.yearmonth,
+            &self.date.weeknuminyear,
+        ] {
+            h = fp_col(h, col);
+        }
+        for col in [
+            &self.part.partkey,
+            &self.part.mfgr,
+            &self.part.category,
+            &self.part.brand1,
+        ] {
+            h = fp_col(h, col);
+        }
+        for col in [
+            &self.supplier.suppkey,
+            &self.supplier.region,
+            &self.supplier.nation,
+            &self.supplier.city,
+        ] {
+            h = fp_col(h, col);
+        }
+        for col in [
+            &self.customer.custkey,
+            &self.customer.region,
+            &self.customer.nation,
+            &self.customer.city,
+        ] {
+            h = fp_col(h, col);
+        }
+        h
     }
 
     /// Total dataset bytes (the paper quotes ~13 GB at SF 20).

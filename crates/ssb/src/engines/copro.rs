@@ -33,10 +33,11 @@ use crate::QueryResult;
 
 /// Session cache keys of a query's referenced fact columns under `enc` —
 /// the working set whose resident fraction discounts the transfer term.
-pub fn working_set_keys(q: &StarQuery, enc: &FactEncodings) -> Vec<ColumnKey> {
+pub fn working_set_keys(d: &SsbData, q: &StarQuery, enc: &FactEncodings) -> Vec<ColumnKey> {
     q.fact_columns()
         .iter()
         .map(|c| ColumnKey {
+            dataset: d.fingerprint(),
             col: c.index() as u32,
             encoding: enc.get(*c),
         })
@@ -228,7 +229,7 @@ pub fn choose_placement_session(
     cpu: &CpuSpec,
     pcie: &PcieSpec,
 ) -> PlacementChoice {
-    let resident = sess.resident_bytes(&working_set_keys(q, enc));
+    let resident = sess.resident_bytes(&working_set_keys(d, q, enc));
     let gpu = sess.spec().clone();
     choose_placement_resident(d, q, enc, cpu, &gpu, pcie, resident)
 }

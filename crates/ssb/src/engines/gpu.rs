@@ -51,36 +51,27 @@ use crate::engines::{
 use crate::plan::{FactCol, StarQuery};
 use crate::QueryResult;
 
-/// The session cache key of one fact column under one encoding.
-pub fn column_key(col: FactCol, fact: Option<&EncodedFact>) -> ColumnKey {
-    match fact {
-        None => ColumnKey::plain(col.index() as u32),
-        Some(f) => ColumnKey {
-            col: col.index() as u32,
-            encoding: f.encoded(col).encoding(),
-        },
+/// The session cache key of one fact column under one encoding. The key
+/// carries the dataset's content fingerprint, so a session shared by
+/// tenants replaying different datasets cannot alias their columns.
+pub fn column_key(d: &SsbData, col: FactCol, fact: Option<&EncodedFact>) -> ColumnKey {
+    let encoding = match fact {
+        None => crystal_storage::encoding::Encoding::Plain,
+        Some(f) => f.encoded(col).encoding(),
+    };
+    ColumnKey {
+        dataset: d.fingerprint(),
+        col: col.index() as u32,
+        encoding,
     }
 }
 
-/// Resolves one fact column to its session-cached device buffer,
-/// uploading on a miss.
-fn resolve_column(
-    sess: &mut DeviceSession<'_>,
-    d: &SsbData,
-    fact: Option<&EncodedFact>,
-    col: FactCol,
-) -> Rc<DeviceCol> {
-    let key = column_key(col, fact);
-    match fact {
-        None => sess.column(key, HostCol::Plain(col.data(d))),
-        // Every column resolves from the encoded table (not from `d`), so
-        // the two arguments cannot silently disagree about plain columns'
-        // data.
-        Some(f) => match f.encoded(col) {
-            EncodedColumn::Packed(p) => sess.column(key, HostCol::Packed(p)),
-            EncodedColumn::Plain(v) => sess.column(key, HostCol::Plain(v)),
-        },
-    }
+/// Shared memory one probe-kernel block actually stages: the first-load /
+/// aggregate-input i32 tiles (`tile_col`, `agg_in1`, `agg_in2`), one i32
+/// group-code tile per join, and the 1-byte survivor bitmap. Charged to
+/// the launch so the occupancy model sees the real per-block footprint.
+fn probe_shared_mem(tile: usize, joins: usize) -> usize {
+    tile * 4 * (3 + joins) + tile
 }
 
 /// Outcome of a GPU query execution.
@@ -148,196 +139,345 @@ pub fn execute_encoded_session(
 }
 
 /// The shared kernel body: session-resolved columns and memoized build
-/// phase, probe kernel, scratch cleanup.
+/// phase, probe kernel, scratch cleanup. Implemented as a
+/// [`DeviceQueryJob`] admitted and driven to completion in one step, so
+/// the run-to-completion engines and the resumable concurrent frontend
+/// execute byte-for-byte the same pipeline.
 fn execute_on(
     sess: &mut DeviceSession<'_>,
     d: &SsbData,
     fact: Option<&EncodedFact>,
     q: &StarQuery,
 ) -> GpuRun {
-    let n = d.lineorder.rows();
-    let mut reports = Vec::new();
+    let mut job = DeviceQueryJob::admit(sess, d, fact, q).unwrap_or_else(|e| panic!("{e}"));
+    let done = job.step(sess, usize::MAX);
+    debug_assert!(done, "an unbounded step finishes the fact table");
+    job.finish(sess)
+}
 
-    let cols = q.fact_columns();
-    let device_cols: Vec<Rc<DeviceCol>> = cols
-        .iter()
-        .map(|&c| resolve_column(sess, d, fact, c))
-        .collect();
+/// A resumable device-side query execution.
+///
+/// [`DeviceQueryJob::admit`] runs the whole *setup* phase — resolving and
+/// **pinning** the fact columns and memoized dimension tables under a
+/// session pin ledger, and allocating the group-table scratch — and is
+/// fallible: under multi-tenant pressure it returns the session's typed
+/// [`SessionOom`](crystal_runtime::SessionOom) instead of panicking, which is the admission
+/// controller's signal to defer the query. Each [`DeviceQueryJob::step`]
+/// then launches the fused probe kernel over a bounded range of fact rows
+/// and yields, so a scheduler can interleave morsel grants across many
+/// in-flight queries; [`DeviceQueryJob::finish`] frees the scratch,
+/// closes the pin ledger and assembles the [`GpuRun`].
+///
+/// Splitting the probe into `k` launches instead of one changes neither
+/// the per-block tile schedule nor the order of the (commutative integer)
+/// aggregate updates, so results are byte-identical for every grant
+/// pattern — the property the concurrent differential suite asserts.
+pub struct DeviceQueryJob<'a> {
+    d: &'a SsbData,
+    q: &'a StarQuery,
+    qid: crystal_runtime::QueryId,
+    device_cols: Vec<Rc<DeviceCol>>,
+    tables: Vec<Rc<crystal_core::hash::DeviceHashTable>>,
+    agg_table: Option<DeviceBuffer<i64>>,
+    agg_host: Vec<i64>,
+    domains: Vec<usize>,
+    carries: Vec<bool>,
+    /// Next unprocessed fact row.
+    cursor: usize,
+    n: usize,
+    pred_survivors: usize,
+    probes: Vec<usize>,
+    hits: Vec<usize>,
+    result_rows: usize,
+    reports: Vec<KernelReport>,
+}
 
-    // --- Build phase: perfect-hash tables for each join's dimension,
-    // memoized by build-side fingerprint. The filter scan is deferred
-    // into the miss closure, so a warm session skips the host-side
-    // dimension scan and the build kernel alike; the trace's stage
-    // stats come from the memoized table itself. ---
-    let mut tables = Vec::new();
-    for join in &q.joins {
-        let fp = dim_join_fingerprint(d, join);
-        let (ht, report) = sess.hash_table(fp, dim_table_bytes(d, join), |gpu| {
-            build_dim_table(gpu, &DimBuild::scan(d, join))
-        });
-        if let Some(r) = report {
-            reports.push(r);
+impl<'a> DeviceQueryJob<'a> {
+    /// Admits one query: pins its working set (columns + dimension
+    /// tables) under a fresh pin ledger and allocates its scratch.
+    /// On [`SessionOom`](crystal_runtime::SessionOom) every pin taken so far is released before
+    /// returning, leaving the session exactly as found.
+    pub fn admit(
+        sess: &mut DeviceSession<'_>,
+        d: &'a SsbData,
+        fact: Option<&'a EncodedFact>,
+        q: &'a StarQuery,
+    ) -> Result<Self, crystal_runtime::SessionOom> {
+        let qid = sess.begin_query();
+        match Self::admit_inner(sess, qid, d, fact, q) {
+            Ok(job) => Ok(job),
+            Err(e) => {
+                sess.end_query(qid);
+                Err(e)
+            }
         }
-        tables.push(ht);
     }
 
-    let col_of = |c: FactCol| -> usize { cols.iter().position(|&x| x == c).unwrap() };
+    fn admit_inner(
+        sess: &mut DeviceSession<'_>,
+        qid: crystal_runtime::QueryId,
+        d: &'a SsbData,
+        fact: Option<&'a EncodedFact>,
+        q: &'a StarQuery,
+    ) -> Result<Self, crystal_runtime::SessionOom> {
+        let n = d.lineorder.rows();
+        let mut reports = Vec::new();
 
-    // --- Probe kernel: the whole query pipeline, one kernel. ---
-    let domains: Vec<usize> = q.group_attrs().iter().map(|a| a.domain()).collect();
-    let domain = q.group_domain();
-    let grouped = !domains.is_empty();
-    let agg_table: DeviceBuffer<i64> = sess.alloc_scratch_zeroed(domain);
-    let mut agg_host = vec![0i64; domain];
-
-    let cfg = LaunchConfig::default_for_items(n);
-    let tile_cap = cfg.tile();
-    let mut tile_col: Tile<i32> = Tile::new(tile_cap);
-    let mut bitmap: Tile<bool> = Tile::new(tile_cap);
-    let mut code_tiles: Vec<Tile<i32>> = q.joins.iter().map(|_| Tile::new(tile_cap)).collect();
-    let mut agg_in1: Tile<i32> = Tile::new(tile_cap);
-    let mut agg_in2: Tile<i32> = Tile::new(tile_cap);
-
-    let mut pred_survivors = 0usize;
-    let mut probes = vec![0usize; q.joins.len()];
-    let mut hits = vec![0usize; q.joins.len()];
-    let mut result_rows = 0usize;
-    let carries: Vec<bool> = q.joins.iter().map(|j| j.group_attr.is_some()).collect();
-
-    let name = format!("ssb_probe_{}", q.name);
-    let report = sess.gpu().launch(&name, cfg, |ctx| {
-        let (start, len) = ctx.tile_bounds(n);
-        if len == 0 {
-            return;
-        }
-
-        // Fact predicates: first column with BlockLoad + BlockPred, the
-        // rest selectively with AndPred (Figure 7(b)).
-        if let Some((first, rest)) = q.fact_preds.split_first() {
-            device_cols[col_of(first.col)].load_full(ctx, start, len, &mut tile_col);
-            let p = *first;
-            block_pred(ctx, &tile_col, move |v| p.matches(v), &mut bitmap);
-            for pred in rest {
-                device_cols[col_of(pred.col)].load_sel(ctx, start, &bitmap, &mut tile_col);
-                let p = *pred;
-                block_pred_and(ctx, &tile_col, move |v| p.matches(v), &mut bitmap);
-            }
-        } else {
-            bitmap.set_len(len);
-            for i in 0..len {
-                bitmap.storage_mut()[i] = true;
-            }
-        }
-        pred_survivors += bitmap.as_slice().iter().filter(|&&b| b).count();
-
-        // Joins: selectively load the FK column, probe, refine the bitmap,
-        // and stash the dense group code per surviving row.
-        for ct in code_tiles.iter_mut() {
-            ct.set_len(len);
-        }
-        for (j, ht) in tables.iter().enumerate() {
-            let alive = bitmap.as_slice().iter().filter(|&&b| b).count();
-            if alive == 0 {
-                break;
-            }
-            probes[j] += alive;
-            device_cols[col_of(q.joins[j].fact_fk)].load_sel(ctx, start, &bitmap, &mut tile_col);
-            let stage_hits = crystal_core::primitives::block_lookup(
-                ctx,
-                &tile_col,
-                ht.as_ref(),
-                &mut bitmap,
-                &mut code_tiles[j],
-            );
-            hits[j] += stage_hits;
-            ctx.compute(alive);
-        }
-
-        // Aggregate inputs, selectively loaded.
-        let agg_cols = q.agg.columns();
-        device_cols[col_of(agg_cols[0])].load_sel(ctx, start, &bitmap, &mut agg_in1);
-        if agg_cols.len() > 1 {
-            device_cols[col_of(agg_cols[1])].load_sel(ctx, start, &bitmap, &mut agg_in2);
-        }
-
-        let mut block_sum = 0i64;
-        let mut block_matches = 0usize;
-        for i in 0..len {
-            if !bitmap.as_slice()[i] {
-                continue;
-            }
-            block_matches += 1;
-            let v = match q.agg {
-                crate::plan::AggExpr::SumDiscountedPrice => {
-                    agg_in1.as_slice()[i] as i64 * agg_in2.as_slice()[i] as i64
-                }
-                crate::plan::AggExpr::SumRevenue => agg_in1.as_slice()[i] as i64,
-                crate::plan::AggExpr::SumProfit => {
-                    agg_in1.as_slice()[i] as i64 - agg_in2.as_slice()[i] as i64
-                }
+        let cols = q.fact_columns();
+        let mut device_cols = Vec::with_capacity(cols.len());
+        for &c in &cols {
+            let key = column_key(d, c, fact);
+            let rc = match fact {
+                None => sess.pin_column(qid, key, HostCol::Plain(c.data(d)))?,
+                // Every column resolves from the encoded table (not from
+                // `d`), so the two arguments cannot silently disagree
+                // about plain columns' data.
+                Some(f) => match f.encoded(c) {
+                    EncodedColumn::Packed(p) => sess.pin_column(qid, key, HostCol::Packed(p))?,
+                    EncodedColumn::Plain(v) => sess.pin_column(qid, key, HostCol::Plain(v))?,
+                },
             };
-            if grouped {
-                let mut idx = 0usize;
-                let mut di = 0usize;
-                for (j, &carried) in carries.iter().enumerate() {
-                    if carried {
-                        idx = idx * domains[di] + code_tiles[j].as_slice()[i] as usize;
-                        di += 1;
-                    }
-                }
-                // One scattered atomic per matching tuple into the dense
-                // group table.
-                ctx.atomic_scattered(agg_table.addr_of(idx));
-                agg_host[idx] += v;
-            } else {
-                block_sum += v;
+            device_cols.push(rc);
+        }
+
+        // Build phase: perfect-hash tables for each join's dimension,
+        // memoized by build-side fingerprint. The filter scan is deferred
+        // into the miss closure, so a warm session skips the host-side
+        // dimension scan and the build kernel alike.
+        let mut tables = Vec::new();
+        for join in &q.joins {
+            let fp = dim_join_fingerprint(d, join);
+            let (ht, report) = sess.pin_hash_table(qid, fp, dim_table_bytes(d, join), |gpu| {
+                build_dim_table(gpu, &DimBuild::scan(d, join))
+            })?;
+            if let Some(r) = report {
+                reports.push(r);
             }
+            tables.push(ht);
         }
-        result_rows += block_matches;
-        ctx.compute(2 * block_matches);
 
-        if !grouped {
-            // BlockAggregate + one contended atomic per tile.
-            ctx.shared(ctx.block_dim * 8);
-            ctx.sync();
-            ctx.atomic_same_addr(1);
-            agg_host[0] += block_sum;
-        }
-    });
-    reports.push(report);
+        let domains: Vec<usize> = q.group_attrs().iter().map(|a| a.domain()).collect();
+        let domain = q.group_domain();
+        let agg_table: DeviceBuffer<i64> = sess.try_alloc_scratch_zeroed(domain)?;
+        let carries: Vec<bool> = q.joins.iter().map(|j| j.group_attr.is_some()).collect();
 
-    // Per-query scratch cleanup; cached columns and memoized tables stay
-    // resident in the session (the Rc clones drop here, unpinning them,
-    // and the trim re-establishes the cache budget a pinned working set
-    // may have transiently exceeded).
-    sess.free_scratch(agg_table);
-    let stages = tables
-        .iter()
-        .enumerate()
-        .map(|(j, ht)| StageTrace {
-            table: q.joins[j].table,
-            probes: probes[j],
-            hits: hits[j],
-            ht_bytes: ht.size_bytes(),
-            dim_insert_frac: ht.entries() as f64 / q.joins[j].keys(d).len().max(1) as f64,
+        Ok(DeviceQueryJob {
+            d,
+            q,
+            qid,
+            device_cols,
+            tables,
+            agg_table: Some(agg_table),
+            agg_host: vec![0i64; domain],
+            domains,
+            carries,
+            cursor: 0,
+            n,
+            pred_survivors: 0,
+            probes: vec![0usize; q.joins.len()],
+            hits: vec![0usize; q.joins.len()],
+            result_rows: 0,
+            reports,
         })
-        .collect();
-    drop(tables);
-    drop(device_cols);
-    sess.trim();
+    }
 
-    let result = groups_to_result(q, &agg_host);
-    let trace = QueryTrace {
-        fact_rows: n,
-        pred_survivors,
-        stages,
-        result_rows,
-        groups: result.rows(),
-    };
-    GpuRun {
-        result,
-        trace,
-        reports,
+    /// Fact rows not yet processed.
+    pub fn remaining_rows(&self) -> usize {
+        self.n - self.cursor
+    }
+
+    /// Simulated seconds of every kernel this job has launched so far
+    /// (admission-time builds included). A scheduler charges each grant
+    /// by the delta of this value across the [`DeviceQueryJob::step`].
+    pub fn sim_secs_so_far(&self) -> f64 {
+        self.reports.iter().map(|r| r.time.total_secs()).sum()
+    }
+
+    /// Runs the fused probe kernel over the next `max_rows` fact rows
+    /// (saturating at the end of the table) and yields. Returns `true`
+    /// when the whole fact table has been processed.
+    pub fn step(&mut self, sess: &mut DeviceSession<'_>, max_rows: usize) -> bool {
+        let base = self.cursor;
+        let batch = max_rows.min(self.n - base);
+        if batch == 0 {
+            return true;
+        }
+        self.cursor += batch;
+
+        let q = self.q;
+        let cols = q.fact_columns();
+        let col_of = |c: FactCol| -> usize { cols.iter().position(|&x| x == c).unwrap() };
+
+        let cfg = LaunchConfig::default_for_items(batch);
+        let tile_cap = cfg.tile();
+        let cfg = cfg.with_shared_mem(probe_shared_mem(tile_cap, q.joins.len()));
+        let mut tile_col: Tile<i32> = Tile::new(tile_cap);
+        let mut bitmap: Tile<bool> = Tile::new(tile_cap);
+        let mut code_tiles: Vec<Tile<i32>> = q.joins.iter().map(|_| Tile::new(tile_cap)).collect();
+        let mut agg_in1: Tile<i32> = Tile::new(tile_cap);
+        let mut agg_in2: Tile<i32> = Tile::new(tile_cap);
+
+        let grouped = !self.domains.is_empty();
+        let device_cols = &self.device_cols;
+        let tables = &self.tables;
+        let agg_table = self.agg_table.as_ref().expect("stepped a finished job");
+        let agg_host = &mut self.agg_host;
+        let domains = &self.domains;
+        let carries = &self.carries;
+        let pred_survivors = &mut self.pred_survivors;
+        let probes = &mut self.probes;
+        let hits = &mut self.hits;
+        let result_rows = &mut self.result_rows;
+
+        let name = format!("ssb_probe_{}", q.name);
+        let report = sess.gpu().launch(&name, cfg, |ctx| {
+            let (tile_start, len) = ctx.tile_bounds(batch);
+            if len == 0 {
+                return;
+            }
+            let start = base + tile_start;
+
+            // Fact predicates: first column with BlockLoad + BlockPred,
+            // the rest selectively with AndPred (Figure 7(b)).
+            if let Some((first, rest)) = q.fact_preds.split_first() {
+                device_cols[col_of(first.col)].load_full(ctx, start, len, &mut tile_col);
+                let p = *first;
+                block_pred(ctx, &tile_col, move |v| p.matches(v), &mut bitmap);
+                for pred in rest {
+                    device_cols[col_of(pred.col)].load_sel(ctx, start, &bitmap, &mut tile_col);
+                    let p = *pred;
+                    block_pred_and(ctx, &tile_col, move |v| p.matches(v), &mut bitmap);
+                }
+            } else {
+                bitmap.set_len(len);
+                for i in 0..len {
+                    bitmap.storage_mut()[i] = true;
+                }
+            }
+            *pred_survivors += bitmap.as_slice().iter().filter(|&&b| b).count();
+
+            // Joins: selectively load the FK column, probe, refine the
+            // bitmap, and stash the dense group code per surviving row.
+            for ct in code_tiles.iter_mut() {
+                ct.set_len(len);
+            }
+            for (j, ht) in tables.iter().enumerate() {
+                let alive = bitmap.as_slice().iter().filter(|&&b| b).count();
+                if alive == 0 {
+                    break;
+                }
+                probes[j] += alive;
+                device_cols[col_of(q.joins[j].fact_fk)].load_sel(
+                    ctx,
+                    start,
+                    &bitmap,
+                    &mut tile_col,
+                );
+                let stage_hits = crystal_core::primitives::block_lookup(
+                    ctx,
+                    &tile_col,
+                    ht.as_ref(),
+                    &mut bitmap,
+                    &mut code_tiles[j],
+                );
+                hits[j] += stage_hits;
+                ctx.compute(alive);
+            }
+
+            // Aggregate inputs, selectively loaded.
+            let agg_cols = q.agg.columns();
+            device_cols[col_of(agg_cols[0])].load_sel(ctx, start, &bitmap, &mut agg_in1);
+            if agg_cols.len() > 1 {
+                device_cols[col_of(agg_cols[1])].load_sel(ctx, start, &bitmap, &mut agg_in2);
+            }
+
+            let mut block_sum = 0i64;
+            let mut block_matches = 0usize;
+            for i in 0..len {
+                if !bitmap.as_slice()[i] {
+                    continue;
+                }
+                block_matches += 1;
+                let v = match q.agg {
+                    crate::plan::AggExpr::SumDiscountedPrice => {
+                        agg_in1.as_slice()[i] as i64 * agg_in2.as_slice()[i] as i64
+                    }
+                    crate::plan::AggExpr::SumRevenue => agg_in1.as_slice()[i] as i64,
+                    crate::plan::AggExpr::SumProfit => {
+                        agg_in1.as_slice()[i] as i64 - agg_in2.as_slice()[i] as i64
+                    }
+                };
+                if grouped {
+                    let mut idx = 0usize;
+                    let mut di = 0usize;
+                    for (j, &carried) in carries.iter().enumerate() {
+                        if carried {
+                            idx = idx * domains[di] + code_tiles[j].as_slice()[i] as usize;
+                            di += 1;
+                        }
+                    }
+                    // One scattered atomic per matching tuple into the
+                    // dense group table.
+                    ctx.atomic_scattered(agg_table.addr_of(idx));
+                    agg_host[idx] += v;
+                } else {
+                    block_sum += v;
+                }
+            }
+            *result_rows += block_matches;
+            ctx.compute(2 * block_matches);
+
+            if !grouped {
+                // BlockAggregate + one contended atomic per tile.
+                ctx.shared(ctx.block_dim * 8);
+                ctx.sync();
+                ctx.atomic_same_addr(1);
+                agg_host[0] += block_sum;
+            }
+        });
+        self.reports.push(report);
+        self.cursor == self.n
+    }
+
+    /// Frees the per-query scratch, closes the pin ledger (unpinning the
+    /// working set and trimming the cache back within budget) and
+    /// assembles the run. Cached columns and memoized tables stay
+    /// resident in the session.
+    pub fn finish(mut self, sess: &mut DeviceSession<'_>) -> GpuRun {
+        assert_eq!(self.cursor, self.n, "finished a job with rows remaining");
+        if let Some(agg_table) = self.agg_table.take() {
+            sess.free_scratch(agg_table);
+        }
+        let stages = self
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(j, ht)| StageTrace {
+                table: self.q.joins[j].table,
+                probes: self.probes[j],
+                hits: self.hits[j],
+                ht_bytes: ht.size_bytes(),
+                dim_insert_frac: ht.entries() as f64
+                    / self.q.joins[j].keys(self.d).len().max(1) as f64,
+            })
+            .collect();
+        self.tables.clear();
+        self.device_cols.clear();
+        sess.end_query(self.qid);
+
+        let result = groups_to_result(self.q, &self.agg_host);
+        let trace = QueryTrace {
+            fact_rows: self.n,
+            pred_survivors: self.pred_survivors,
+            stages,
+            result_rows: self.result_rows,
+            groups: result.rows(),
+        };
+        GpuRun {
+            result,
+            trace,
+            reports: std::mem::take(&mut self.reports),
+        }
     }
 }
 

@@ -123,14 +123,21 @@ pub fn build_dim_table(
 
 /// A stable fingerprint of one dimension join's build side — the
 /// memoization key of the session's hash-table cache. Two joins share a
-/// table exactly when they agree on dimension, FK column, filter and
-/// group attribute (the payload is the group code, so the group attribute
-/// is part of the key). FNV-1a over the descriptor; the dimension row
-/// count is folded in as a scale guard.
+/// table exactly when they agree on *dataset*, dimension, FK column,
+/// filter and group attribute (the payload is the group code, so the
+/// group attribute is part of the key). FNV-1a over the dataset's content
+/// fingerprint and the descriptor; the dimension row count is folded in
+/// as a scale guard. Folding the dataset in keeps a session shared by
+/// tenants replaying different databases from serving one tenant's build
+/// to another.
 pub fn dim_join_fingerprint(d: &SsbData, join: &DimJoin) -> u64 {
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = FNV_OFFSET;
+    for b in d.fingerprint().to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
     let mut eat = |v: i64| {
         for b in v.to_le_bytes() {
             h ^= b as u64;

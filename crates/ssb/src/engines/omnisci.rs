@@ -90,7 +90,7 @@ pub fn execute_session(sess: &mut DeviceSession<'_>, d: &SsbData, q: &StarQuery)
     let mut reports = Vec::new();
 
     let column = |sess: &mut DeviceSession<'_>, c: FactCol| -> Rc<DeviceCol> {
-        sess.column(column_key(c, None), HostCol::Plain(c.data(d)))
+        sess.column(column_key(d, c, None), HostCol::Plain(c.data(d)))
     };
 
     // Device-wide survivor flags, materialized between operators.

@@ -145,15 +145,24 @@ struct QueryCtx<'a> {
     lookups: &'a [DimLookup],
     /// `(join index, attribute domain)` of each join carrying a group
     /// attribute, in join order — the mixed-radix digits of the group key.
-    carried: Vec<(usize, usize)>,
+    carried: &'a [(usize, usize)],
     /// Whether join `j` carries a group attribute.
-    carries: Vec<bool>,
+    carries: &'a [bool],
     /// Fact FK column per join (resolved once).
-    fk_cols: Vec<ColumnSlice<'a>>,
+    fk_cols: &'a [ColumnSlice<'a>],
     /// Fact predicate columns (resolved once).
-    pred_cols: Vec<ColumnSlice<'a>>,
+    pred_cols: &'a [ColumnSlice<'a>],
     /// Aggregate input columns, in [`AggExpr::columns`] order.
-    agg_cols: Vec<ColumnSlice<'a>>,
+    agg_cols: &'a [ColumnSlice<'a>],
+}
+
+/// The `(join index, domain)` mixed-radix digits of a query's group key.
+fn carried_of(q: &StarQuery) -> Vec<(usize, usize)> {
+    q.joins
+        .iter()
+        .enumerate()
+        .filter_map(|(j, join)| join.group_attr.map(|a| (j, a.domain())))
+        .collect()
 }
 
 impl QueryCtx<'_> {
@@ -162,7 +171,7 @@ impl QueryCtx<'_> {
     #[inline]
     fn group_idx(&self, code_of_join: impl Fn(usize) -> i32) -> usize {
         let mut idx = 0usize;
-        for &(j, dom) in &self.carried {
+        for &(j, dom) in self.carried {
             idx = idx * dom + code_of_join(j) as usize;
         }
         idx
@@ -382,19 +391,16 @@ fn run(
     let n = d.lineorder.rows();
     let domain = q.group_domain();
     let joins = q.joins.len();
+    let carried = carried_of(q);
+    let carries: Vec<bool> = q.joins.iter().map(|j| j.group_attr.is_some()).collect();
     let ctx = QueryCtx {
         q,
         lookups: &lookups,
-        carried: q
-            .joins
-            .iter()
-            .enumerate()
-            .filter_map(|(j, join)| join.group_attr.map(|a| (j, a.domain())))
-            .collect(),
-        carries: q.joins.iter().map(|j| j.group_attr.is_some()).collect(),
-        fk_cols,
-        pred_cols,
-        agg_cols,
+        carried: &carried,
+        carries: &carries,
+        fk_cols: &fk_cols,
+        pred_cols: &pred_cols,
+        agg_cols: &agg_cols,
     };
 
     let worker_body =
@@ -420,7 +426,21 @@ fn run(
         }),
     };
 
-    // Merge the private tables and counters.
+    assemble(d, q, &lookups, n, workers)
+}
+
+/// Merges per-worker accumulators into the final result and trace — the
+/// one exit path shared by the run-to-completion schedules and the
+/// resumable [`HostQueryJob`].
+fn assemble(
+    d: &SsbData,
+    q: &StarQuery,
+    lookups: &[DimLookup],
+    n: usize,
+    workers: Vec<WorkerAcc>,
+) -> (QueryResult, QueryTrace) {
+    let domain = q.group_domain();
+    let joins = q.joins.len();
     let mut agg = vec![0i64; domain];
     let mut pred_survivors = 0usize;
     let mut probes = vec![0usize; joins];
@@ -460,6 +480,119 @@ fn run(
     (result, trace)
 }
 
+/// A resumable host-side query execution: the same per-vector pipeline as
+/// [`execute`], sliced into bounded row grants instead of run to
+/// completion, so a concurrent scheduler can interleave many in-flight
+/// queries on the host with per-tenant fairness.
+///
+/// Construction resolves the plan once (dimension lookups, column
+/// slices); each [`HostQueryJob::step`] advances the scan cursor by a
+/// bounded number of rows through [`PipelineMode::Vectorized`] or
+/// tuple-at-a-time pipelines and yields. A single accumulator is carried
+/// across steps, so any grant pattern produces the worker state of a
+/// one-thread run — results are byte-identical to [`execute`] for every
+/// interleaving, which the concurrent differential suite asserts.
+pub struct HostQueryJob<'a> {
+    d: &'a SsbData,
+    q: &'a StarQuery,
+    lookups: Vec<DimLookup>,
+    carried: Vec<(usize, usize)>,
+    carries: Vec<bool>,
+    pred_cols: Vec<ColumnSlice<'a>>,
+    fk_cols: Vec<ColumnSlice<'a>>,
+    agg_cols: Vec<ColumnSlice<'a>>,
+    mode: PipelineMode,
+    acc: WorkerAcc,
+    scratch: Scratch,
+    /// Next unprocessed fact row.
+    cursor: usize,
+    n: usize,
+}
+
+impl<'a> HostQueryJob<'a> {
+    /// A job over plain [`SsbData`] storage.
+    pub fn new(d: &'a SsbData, q: &'a StarQuery, mode: PipelineMode) -> Self {
+        Self::with_columns(d, q, plain_columns(d, q), mode)
+    }
+
+    /// A job reading directly from an encoded fact table.
+    pub fn new_encoded(
+        d: &'a SsbData,
+        fact: &'a EncodedFact,
+        q: &'a StarQuery,
+        mode: PipelineMode,
+    ) -> Self {
+        fact.check_scale(d);
+        Self::with_columns(d, q, encoded_columns(fact, q), mode)
+    }
+
+    fn with_columns(
+        d: &'a SsbData,
+        q: &'a StarQuery,
+        cols: Columns<'a>,
+        mode: PipelineMode,
+    ) -> Self {
+        let (pred_cols, fk_cols, agg_cols) = cols;
+        let lookups: Vec<DimLookup> = q.joins.iter().map(|j| DimLookup::build(d, j)).collect();
+        let joins = q.joins.len();
+        HostQueryJob {
+            d,
+            q,
+            lookups,
+            carried: carried_of(q),
+            carries: q.joins.iter().map(|j| j.group_attr.is_some()).collect(),
+            pred_cols,
+            fk_cols,
+            agg_cols,
+            mode,
+            acc: WorkerAcc::new(q.group_domain(), joins),
+            scratch: Scratch::new(joins, mode),
+            cursor: 0,
+            n: d.lineorder.rows(),
+        }
+    }
+
+    /// Fact rows not yet processed.
+    pub fn remaining_rows(&self) -> usize {
+        self.n - self.cursor
+    }
+
+    /// Processes the next `max_rows` fact rows (saturating at the end of
+    /// the table) and yields. Returns `true` once the whole table has
+    /// been scanned.
+    pub fn step(&mut self, max_rows: usize) -> bool {
+        let start = self.cursor;
+        let end = start.saturating_add(max_rows).min(self.n);
+        self.cursor = end;
+        if start < end {
+            let ctx = QueryCtx {
+                q: self.q,
+                lookups: &self.lookups,
+                carried: &self.carried,
+                carries: &self.carries,
+                fk_cols: &self.fk_cols,
+                pred_cols: &self.pred_cols,
+                agg_cols: &self.agg_cols,
+            };
+            match self.mode {
+                PipelineMode::Vectorized => {
+                    vectorized_range(&ctx, start, end, &mut self.acc, &mut self.scratch)
+                }
+                PipelineMode::TupleAtATime => {
+                    tuple_range(&ctx, start, end, &mut self.acc, &mut self.scratch)
+                }
+            }
+        }
+        self.cursor == self.n
+    }
+
+    /// Assembles the result and trace; callable once the scan is done.
+    pub fn finish(self) -> (QueryResult, QueryTrace) {
+        assert_eq!(self.cursor, self.n, "finished a job with rows remaining");
+        assemble(self.d, self.q, &self.lookups, self.n, vec![self.acc])
+    }
+}
+
 /// Vector-at-a-time pipeline over one contiguous row range: each L1-sized
 /// vector flows through the selection-vector kernels, with per-column
 /// packed/plain dispatch at every stage.
@@ -484,7 +617,7 @@ fn vectorized_range(
             None => sel_init(start, end, sel),
             Some(p) => between_init(ctx.pred_cols[0], p.lo, p.hi, start, end, sel),
         };
-        for (p, col) in ctx.q.fact_preds.iter().zip(&ctx.pred_cols).skip(1) {
+        for (p, col) in ctx.q.fact_preds.iter().zip(ctx.pred_cols).skip(1) {
             count = between_refine(*col, p.lo, p.hi, sel, count);
         }
         acc.pred_survivors += count;
@@ -540,7 +673,7 @@ fn tuple_range(
 ) {
     let codes = &mut scratch.tuple_codes;
     'rows: for row in range_start..range_end {
-        for (p, col) in ctx.q.fact_preds.iter().zip(&ctx.pred_cols) {
+        for (p, col) in ctx.q.fact_preds.iter().zip(ctx.pred_cols) {
             if !p.matches(col.value(row)) {
                 continue 'rows;
             }

@@ -35,6 +35,7 @@ pub use crystal_gpu_sim as gpu_sim;
 pub use crystal_hardware as hardware;
 pub use crystal_models as models;
 pub use crystal_runtime as runtime;
+pub use crystal_server as server;
 pub use crystal_ssb as ssb;
 pub use crystal_storage as storage;
 
