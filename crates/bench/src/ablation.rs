@@ -138,7 +138,7 @@ pub fn join_order(cfg: &Config) {
             agg: base.agg,
         };
         gpu.reset_l2();
-        let run = gpu_engine::execute(&mut gpu, &d, &q);
+        let run = gpu_engine::execute(&mut gpu, &d, &q).unwrap();
         let t = run.sim_secs_scaled(cfg.fact_scale);
         best = best.min(t);
         worst = worst.max(t);
@@ -168,7 +168,7 @@ pub fn multi_gpu(cfg: &Config) {
         // copy (the standard replicated-dimension design); devices run in
         // parallel and the final partial-aggregate merge is negligible.
         let mut device = Gpu::new(nvidia_v100());
-        let run = gpu_engine::execute(&mut device, &d, &q);
+        let run = gpu_engine::execute(&mut device, &d, &q).unwrap();
         // Each device scans 1/gpus of the fact table, so the per-device
         // sample-to-paper scale shrinks accordingly.
         let t = run.sim_secs_scaled(cfg.fact_scale * gpus as f64);
@@ -339,9 +339,10 @@ pub fn compression(cfg: &Config) {
     for id in [QueryId::new(1, 1), QueryId::new(2, 1), QueryId::new(4, 3)] {
         let q = query(&d, id);
         gpu.reset_l2();
-        let plain_run = crystal_ssb::engines::gpu::execute(&mut gpu, &d, &q);
+        let plain_run = crystal_ssb::engines::gpu::execute(&mut gpu, &d, &q).unwrap();
         gpu.reset_l2();
-        let packed_run = crystal_ssb::engines::gpu::execute_encoded(&mut gpu, &d, &fact, &q);
+        let packed_run =
+            crystal_ssb::engines::gpu::execute_encoded(&mut gpu, &d, &fact, &q).unwrap();
         assert_eq!(plain_run.result, packed_run.result, "{id} diverged");
         let shrink = plain_run.reports.last().unwrap().stats.global_read_bytes as f64
             / packed_run.reports.last().unwrap().stats.global_read_bytes as f64;
@@ -387,7 +388,7 @@ pub fn hybrid(cfg: &Config) {
     let (_, trace) = cpu_engine::execute(&d, &q, cfg.threads);
     let t_cpu_full = crystal_ssb::model::cpu_empirical_secs(&q, &trace, &cpu_spec);
     let mut gpu = Gpu::new(gspec);
-    let run = gpu_engine::execute(&mut gpu, &d, &q);
+    let run = gpu_engine::execute(&mut gpu, &d, &q).unwrap();
     let t_gpu_full = run.sim_secs_scaled(cfg.fact_scale);
 
     let mut report = Report::new(

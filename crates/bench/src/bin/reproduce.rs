@@ -33,6 +33,11 @@
 //!               probe kernels on plain/packed columns; writes
 //!               BENCH_kernels.json (pass --smoke for the CI parity gate)
 //!   whatif      operator gains on a newer CPU/GPU pairing (Section 5.4)
+//!   sharded     beyond-memory sharded SSB: zone-map partition pruning
+//!               fractions per query plus an eviction-heavy device
+//!               replay under half the sharded working set, byte-
+//!               identity asserted (exits non-zero if a band is missed;
+//!               --smoke shortens the stream for CI)
 //!   scorecard   every headline number vs its tolerance band (exits
 //!               non-zero on a miss)
 //!   all         everything above (default)
@@ -100,6 +105,11 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            "sharded" => {
+                if !crystal_bench::sharded::sharded(&cfg, smoke) {
+                    std::process::exit(1);
+                }
+            }
             "whatif" => tables::whatif(),
             "scorecard" => {
                 if !crystal_bench::scorecard::scorecard(&cfg) {
@@ -114,13 +124,14 @@ fn main() {
                 crystal_bench::ablation::run_all(&cfg);
                 crystal_bench::stream::query_stream(&cfg);
                 crystal_bench::contention::contention(&cfg, smoke);
+                crystal_bench::sharded::sharded(&cfg, smoke);
                 crystal_bench::kernels::microbench(&cfg, smoke);
                 tables::whatif();
                 crystal_bench::scorecard::scorecard(&cfg);
             }
             other => {
                 eprintln!("unknown experiment: {other}");
-                eprintln!("known: table2 fig3 fig9 tile-model fig10 fig12 fig13 fig14 sort fig16 case-study table3 ablations query-stream contention microbench whatif scorecard all (plus ablation-radix-join ablation-join-order ablation-multi-gpu ablation-agg ablation-compression ablation-hybrid ablation-skew)");
+                eprintln!("known: table2 fig3 fig9 tile-model fig10 fig12 fig13 fig14 sort fig16 case-study table3 ablations query-stream contention sharded microbench whatif scorecard all (plus ablation-radix-join ablation-join-order ablation-multi-gpu ablation-agg ablation-compression ablation-hybrid ablation-skew)");
                 std::process::exit(2);
             }
         }

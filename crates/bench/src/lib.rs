@@ -19,6 +19,7 @@ pub mod contention;
 pub mod kernels;
 pub mod micro;
 pub mod scorecard;
+pub mod sharded;
 pub mod ssb_exp;
 pub mod stream;
 pub mod tables;

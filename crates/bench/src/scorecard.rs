@@ -226,9 +226,9 @@ pub fn scorecard(cfg: &Config) -> bool {
         // the plain one (it reads a fraction of the bytes).
         let fact = EncodedFact::encode(&dd, &enc);
         let mut g = Gpu::new(nvidia_v100());
-        let plain_run = gpu_engine::execute(&mut g, &dd, &q11);
+        let plain_run = gpu_engine::execute(&mut g, &dd, &q11).unwrap();
         g.reset_l2();
-        let packed_run = gpu_engine::execute_encoded(&mut g, &dd, &fact, &q11);
+        let packed_run = gpu_engine::execute_encoded(&mut g, &dd, &fact, &q11).unwrap();
         assert_eq!(plain_run.result, packed_run.result);
         // At this sample size kernel-launch overhead flattens the time
         // ratio toward 1; the claim is "no slower" plus the byte shrink.
@@ -317,7 +317,7 @@ pub fn scorecard(cfg: &Config) -> bool {
         let mut sess = crystal_runtime::DeviceSession::new(&mut g);
         let cold_choice =
             copro::choose_placement_session(&sess, &dd, &q11, &plain_enc, &cpu, &pcie);
-        let _ = gpu_engine::execute_session(&mut sess, &dd, &q11);
+        let _ = gpu_engine::execute_session(&mut sess, &dd, &q11).unwrap();
         let warm_choice =
             copro::choose_placement_session(&sess, &dd, &q11, &plain_enc, &cpu, &pcie);
         let flipped = cold_choice.placement == copro::Placement::Host
@@ -326,6 +326,38 @@ pub fn scorecard(cfg: &Config) -> bool {
             name: "q1.1 placement flips when resident (Gen3)",
             paper: 1.0,
             reproduced: f64::from(u8::from(flipped)),
+            lo: 1.0,
+            hi: 1.0,
+        });
+    }
+
+    // Sharded beyond-memory regime (the PartitionedFact tentpole):
+    // zone-map pruning must cut q1.1's scan to the pinned fraction, and
+    // a device replay under half the sharded working set must evict yet
+    // stay byte-identical (asserted inside the helpers).
+    {
+        let dd = SsbData::generate_scaled(1, 0.002, crate::stream::STREAM_SEED);
+        let pf = crystal_ssb::PartitionedFact::partition(
+            &dd,
+            crate::sharded::SHARDS,
+            &FactEncodings::plain(),
+        );
+        let q11 = crystal_ssb::queries::query(&dd, crystal_ssb::QueryId::new(1, 1));
+        checks.push(Check {
+            name: "sharded q1.1 scan fraction (8 shards)",
+            paper: 0.14, // one year of seven stays live
+            reproduced: crate::sharded::pruned_fraction(&dd, &pf, &q11, cfg.threads),
+            lo: crate::sharded::Q11_SCAN_FRAC_LO,
+            hi: crate::sharded::Q11_SCAN_FRAC_HI,
+        });
+        let stream = crate::stream::pinned_stream(&dd, 6, 2);
+        let replay = crate::sharded::replay_sharded(&dd, &pf, &stream, pf.size_bytes() / 2);
+        checks.push(Check {
+            name: "starved sharded replay evicts, byte-identical",
+            paper: 1.0,
+            reproduced: f64::from(u8::from(
+                replay.evictions >= crate::sharded::MIN_REPLAY_EVICTIONS,
+            )),
             lo: 1.0,
             hi: 1.0,
         });

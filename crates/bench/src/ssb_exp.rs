@@ -41,7 +41,7 @@ pub fn fig3(cfg: &Config) {
         let t_monet = qmodel::monetdb_secs(&q, &trace, &cpu_spec);
         let t_hyper = qmodel::hyper_secs(&q, &trace, &cpu_spec);
         gpu.reset_l2();
-        let run = copro::execute_scaled(&mut gpu, &pcie, &d, &q, cfg.fact_scale);
+        let run = copro::execute_scaled(&mut gpu, &pcie, &d, &q, cfg.fact_scale).unwrap();
         let t_copro = run.time.overlapped;
         report.row(vec![q.name.into(), ms(t_monet), ms(t_copro), ms(t_hyper)]);
         monet_t.push(t_monet);
@@ -93,7 +93,7 @@ pub fn fig16(cfg: &Config) {
         let t_hyper = qmodel::hyper_secs(&q, &trace, &cpu_spec);
 
         gpu.reset_l2();
-        let crystal_run = gpu_engine::execute(&mut gpu, &d, &q);
+        let crystal_run = gpu_engine::execute(&mut gpu, &d, &q).unwrap();
         let t_gpu = crystal_run.sim_secs_scaled(cfg.fact_scale);
         gpu.reset_l2();
         let omni_run = omnisci::execute(&mut gpu, &d, &q);
@@ -157,7 +157,7 @@ pub fn case_study(cfg: &Config) {
 
     let q = crystal_ssb::queries::query(&d, crystal_ssb::QueryId::new(2, 1));
     let mut gpu = Gpu::new(gspec.clone());
-    let run = gpu_engine::execute(&mut gpu, &d, &q);
+    let run = gpu_engine::execute(&mut gpu, &d, &q).unwrap();
     let sim = run.sim_secs_scaled(cfg.fact_scale);
 
     let g = q21_gpu_model(&p, &gspec);

@@ -321,6 +321,7 @@ impl Gpu {
             items_per_thread: cfg.items_per_thread,
             stats,
             time,
+            fact_linear: false,
         };
         self.reports.push(report.clone());
         report

@@ -89,6 +89,19 @@ pub struct KernelReport {
     pub items_per_thread: usize,
     pub stats: KernelStats,
     pub time: SimTime,
+    /// Whether the kernel's work grows linearly with the fact-table row
+    /// count. Engines tag their fact scans/probes explicitly so scaled-time
+    /// extrapolation (`sim_secs_scaled`) never has to guess from the kernel
+    /// name; dimension-sized kernels (hash-table builds) stay `false`.
+    pub fact_linear: bool,
+}
+
+impl KernelReport {
+    /// Marks the kernel as fact-linear (see [`KernelReport::fact_linear`]).
+    pub fn tag_fact_linear(mut self) -> Self {
+        self.fact_linear = true;
+        self
+    }
 }
 
 impl std::fmt::Display for KernelReport {

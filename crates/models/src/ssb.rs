@@ -246,6 +246,91 @@ pub fn resident_coprocessor_bounds(
     (device, host)
 }
 
+/// Cost inputs of one fact-table shard for the per-shard placement
+/// bound: its referenced bytes under the current encodings, the fraction
+/// of those already device-resident, and its packed values (host unpack
+/// work).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardParams {
+    /// Bytes of the shard's referenced columns under the current encodings.
+    pub packed_bytes: usize,
+    /// How many of those bytes are already device-resident.
+    pub resident_bytes: usize,
+    /// Packed values the host side would unpack (plain values count too).
+    pub packed_values: usize,
+}
+
+/// A per-shard placement split: which shards of one query run on the
+/// device and which on the host, with the modeled seconds of each side.
+#[derive(Debug, Clone)]
+pub struct HybridSplit {
+    /// Indices (into the input slice) of device-routed shards.
+    pub device_shards: Vec<usize>,
+    /// Indices of host-routed shards.
+    pub host_shards: Vec<usize>,
+    /// Summed device bound of the device-routed shards.
+    pub device_secs: f64,
+    /// Summed host bound of the host-routed shards.
+    pub host_secs: f64,
+    /// Total device bound had *every* shard run on the device — the
+    /// whole-query coprocessor alternative a scheduler compares against.
+    pub device_only_secs: f64,
+    /// Total host bound had every shard run on the host.
+    pub host_only_secs: f64,
+}
+
+impl HybridSplit {
+    /// Modeled time of the hybrid execution: the two sides run
+    /// concurrently, so the slower one bounds the query.
+    pub fn hybrid_secs(&self) -> f64 {
+        self.device_secs.max(self.host_secs)
+    }
+}
+
+/// The per-shard residency-aware placement: each shard is routed to
+/// whichever side [`resident_coprocessor_bounds`] prices cheaper *for
+/// that shard's own residency*. A query over a partially resident
+/// working set thus runs hot (device-cached) shards on the device and
+/// cold shards on the host concurrently — measured residency pressure,
+/// not a whole-table constant, drives the split. With one shard this
+/// degenerates to the whole-table [`resident_coprocessor_bounds`]
+/// decision.
+pub fn hybrid_shard_split(
+    shards: &[ShardParams],
+    cpu: &CpuSpec,
+    gpu: &GpuSpec,
+    pcie: &PcieSpec,
+) -> HybridSplit {
+    let mut split = HybridSplit {
+        device_shards: Vec::new(),
+        host_shards: Vec::new(),
+        device_secs: 0.0,
+        host_secs: 0.0,
+        device_only_secs: 0.0,
+        host_only_secs: 0.0,
+    };
+    for (i, s) in shards.iter().enumerate() {
+        let (device, host) = resident_coprocessor_bounds(
+            s.packed_bytes,
+            s.resident_bytes,
+            s.packed_values,
+            cpu,
+            gpu,
+            pcie,
+        );
+        split.device_only_secs += device;
+        split.host_only_secs += host;
+        if device < host {
+            split.device_shards.push(i);
+            split.device_secs += device;
+        } else {
+            split.host_shards.push(i);
+            split.host_secs += host;
+        }
+    }
+    split
+}
+
 /// The compression ratio above which a fully packed scan routes to the
 /// coprocessor: solve `4/(r*Bp) = CPU_SCALAR_UNPACK_CYCLES/(cores*clock)`
 /// for `r`. Below it PCIe still loses; above it the packed transfer beats
@@ -384,6 +469,45 @@ mod tests {
         // Over-reported residency saturates instead of going negative.
         let (over, _) = resident_coprocessor_bounds(bytes, 2 * bytes, 0, &cpu, &gpu, &pcie);
         assert!((over - warm).abs() < 1e-12);
+    }
+
+    /// Per-shard routing sends resident shards to the device and cold
+    /// shards to the host — one query, both sides — and the hybrid time
+    /// is the max of the two concurrent streams.
+    #[test]
+    fn hybrid_split_routes_by_per_shard_residency() {
+        let cpu = intel_i7_6900();
+        let gpu = nvidia_v100();
+        let pcie = pcie_gen3();
+        let bytes = 4 * 120_000_000usize / 8; // one of 8 shards
+        let hot = ShardParams {
+            packed_bytes: bytes,
+            resident_bytes: bytes,
+            packed_values: 0,
+        };
+        let cold = ShardParams {
+            packed_bytes: bytes,
+            resident_bytes: 0,
+            packed_values: 0,
+        };
+        let split = hybrid_shard_split(&[hot, cold, hot, cold], &cpu, &gpu, &pcie);
+        assert_eq!(
+            split.device_shards,
+            vec![0, 2],
+            "resident shards go to the device"
+        );
+        assert_eq!(
+            split.host_shards,
+            vec![1, 3],
+            "cold shards stay on the host"
+        );
+        assert!(split.device_secs < split.host_secs);
+        assert!((split.hybrid_secs() - split.host_secs).abs() < 1e-15);
+        // Degenerate single-shard split agrees with the whole-table bound.
+        let solo = hybrid_shard_split(&[cold], &cpu, &gpu, &pcie);
+        assert!(solo.device_shards.is_empty() && solo.host_shards == vec![0]);
+        let (_, host) = resident_coprocessor_bounds(bytes, 0, 0, &cpu, &gpu, &pcie);
+        assert!((solo.host_secs - host).abs() < 1e-15);
     }
 
     #[test]

@@ -128,6 +128,29 @@ impl EncodedFact {
         }
     }
 
+    /// Encodes externally materialized fact columns — one slice per
+    /// [`FactCol`] in `FactCol::ALL` order — under `enc`. This is the
+    /// shard-local constructor: a range partition of the fact table
+    /// ([`crate::partition::PartitionedFact`]) encodes its own rows
+    /// independently, so [`EncodedFact::encode`]'s whole-table row-count
+    /// coupling to [`SsbData`] does not apply. The caller guarantees the
+    /// encodings hold the columns' values (a descriptor derived from the
+    /// full table always does for any subset of its rows).
+    pub fn encode_columns(cols: &[Vec<i32>; 9], enc: &FactEncodings) -> Self {
+        let rows = cols[0].len();
+        assert!(
+            cols.iter().all(|c| c.len() == rows),
+            "fact columns must share one row count"
+        );
+        EncodedFact {
+            rows,
+            cols: FactCol::ALL
+                .iter()
+                .map(|c| EncodedColumn::encode(&cols[c.index()], enc.get(*c)))
+                .collect(),
+        }
+    }
+
     /// Fact rows.
     pub fn rows(&self) -> usize {
         self.rows

@@ -21,13 +21,17 @@
 use crystal_gpu_sim::pcie::{coprocessor_time, CoprocessorTime};
 use crystal_gpu_sim::Gpu;
 use crystal_hardware::{CpuSpec, GpuSpec, PcieSpec};
-use crystal_models::ssb::{compressed_coprocessor_bounds, resident_coprocessor_bounds};
-use crystal_runtime::{ColumnKey, DeviceSession};
+use crystal_models::ssb::{
+    compressed_coprocessor_bounds, hybrid_shard_split, resident_coprocessor_bounds, ShardParams,
+};
+use crystal_runtime::{ColumnKey, DeviceSession, SessionOom};
 
 use crate::data::SsbData;
 use crate::encoding::{EncodedFact, FactEncodings};
-use crate::engines::gpu::{self, GpuRun};
-use crate::exec::{self, PipelineMode};
+use crate::engines::gpu::{self, DeviceQueryJob, GpuRun};
+use crate::engines::groups_to_result;
+use crate::exec::{self, PartitionedHostJob, PipelineMode};
+use crate::partition::PartitionedFact;
 use crate::plan::StarQuery;
 use crate::QueryResult;
 
@@ -55,8 +59,14 @@ pub struct CoproRun {
 
 /// Executes a query in the coprocessor model with a cold device (transient
 /// session): ship the referenced fact columns, overlap with the Crystal
-/// kernel execution.
-pub fn execute(gpu: &mut Gpu, pcie: &PcieSpec, d: &SsbData, q: &StarQuery) -> CoproRun {
+/// kernel execution. Surfaces the typed [`SessionOom`] when the working
+/// set cannot fit the device.
+pub fn execute(
+    gpu: &mut Gpu,
+    pcie: &PcieSpec,
+    d: &SsbData,
+    q: &StarQuery,
+) -> Result<CoproRun, SessionOom> {
     let mut sess = DeviceSession::new(gpu);
     execute_session(&mut sess, pcie, d, q)
 }
@@ -69,16 +79,16 @@ pub fn execute_session(
     pcie: &PcieSpec,
     d: &SsbData,
     q: &StarQuery,
-) -> CoproRun {
+) -> Result<CoproRun, SessionOom> {
     let before = sess.stats().clone();
-    let gpu_run = gpu::execute_session(sess, d, q);
+    let gpu_run = gpu::execute_session(sess, d, q)?;
     let shipped_bytes = sess.stats().uploaded_since(&before);
     let time = coprocessor_time(pcie, shipped_bytes, gpu_run.sim_secs());
-    CoproRun {
+    Ok(CoproRun {
         gpu_run,
         shipped_bytes,
         time,
-    }
+    })
 }
 
 /// Coprocessor execution over an encoded fact table: packed columns ship
@@ -90,7 +100,7 @@ pub fn execute_encoded(
     d: &SsbData,
     fact: &EncodedFact,
     q: &StarQuery,
-) -> CoproRun {
+) -> Result<CoproRun, SessionOom> {
     let mut sess = DeviceSession::new(gpu);
     execute_encoded_session(&mut sess, pcie, d, fact, q)
 }
@@ -102,16 +112,16 @@ pub fn execute_encoded_session(
     d: &SsbData,
     fact: &EncodedFact,
     q: &StarQuery,
-) -> CoproRun {
+) -> Result<CoproRun, SessionOom> {
     let before = sess.stats().clone();
-    let gpu_run = gpu::execute_encoded_session(sess, d, fact, q);
+    let gpu_run = gpu::execute_encoded_session(sess, d, fact, q)?;
     let shipped_bytes = sess.stats().uploaded_since(&before);
     let time = coprocessor_time(pcie, shipped_bytes, gpu_run.sim_secs());
-    CoproRun {
+    Ok(CoproRun {
         gpu_run,
         shipped_bytes,
         time,
-    }
+    })
 }
 
 /// Paper-scale variant: transfer sized by the full SF fact table while the
@@ -122,16 +132,16 @@ pub fn execute_scaled(
     d: &SsbData,
     q: &StarQuery,
     fact_scale: f64,
-) -> CoproRun {
-    let gpu_run = gpu::execute(gpu, d, q);
+) -> Result<CoproRun, SessionOom> {
+    let gpu_run = gpu::execute(gpu, d, q)?;
     let full_rows = (d.lineorder.rows() as f64 / fact_scale).round() as usize;
     let shipped_bytes = q.fact_columns().len() * 4 * full_rows;
     let time = coprocessor_time(pcie, shipped_bytes, gpu_run.sim_secs_scaled(fact_scale));
-    CoproRun {
+    Ok(CoproRun {
         gpu_run,
         shipped_bytes,
         time,
-    }
+    })
 }
 
 /// Where a query runs under cost-based placement.
@@ -274,14 +284,23 @@ pub fn execute_placed(
                 copro: None,
             }
         }
-        Placement::Coprocessor => {
-            let run = execute(gpu, pcie, d, q);
-            PlacedRun {
+        Placement::Coprocessor => match execute(gpu, pcie, d, q) {
+            Ok(run) => PlacedRun {
                 choice,
                 result: run.gpu_run.result.clone(),
                 copro: Some(run),
+            },
+            // The device cannot hold the working set: fall back to the
+            // host pipeline instead of aborting the query.
+            Err(_) => {
+                let (result, _) = exec::execute(d, q, threads, PipelineMode::Vectorized);
+                PlacedRun {
+                    choice,
+                    result,
+                    copro: None,
+                }
             }
-        }
+        },
     }
 }
 
@@ -308,14 +327,22 @@ pub fn execute_placed_encoded(
                 copro: None,
             }
         }
-        Placement::Coprocessor => {
-            let run = execute_encoded(gpu, pcie, d, fact, q);
-            PlacedRun {
+        Placement::Coprocessor => match execute_encoded(gpu, pcie, d, fact, q) {
+            Ok(run) => PlacedRun {
                 choice,
                 result: run.gpu_run.result.clone(),
                 copro: Some(run),
+            },
+            Err(_) => {
+                let (result, _) =
+                    exec::execute_encoded(d, fact, q, threads, PipelineMode::Vectorized);
+                PlacedRun {
+                    choice,
+                    result,
+                    copro: None,
+                }
             }
-        }
+        },
     }
 }
 
@@ -342,15 +369,188 @@ pub fn execute_placed_session(
                 copro: None,
             }
         }
-        Placement::Coprocessor => {
-            let run = execute_session(sess, pcie, d, q);
-            PlacedRun {
+        Placement::Coprocessor => match execute_session(sess, pcie, d, q) {
+            Ok(run) => PlacedRun {
                 choice,
                 result: run.gpu_run.result.clone(),
                 copro: Some(run),
+            },
+            Err(_) => {
+                let (result, _) = exec::execute(d, q, threads, PipelineMode::Vectorized);
+                PlacedRun {
+                    choice,
+                    result,
+                    copro: None,
+                }
             }
+        },
+    }
+}
+
+/// The device cache keys for one shard of `q`'s working set — the
+/// shard-granular analogue of [`working_set_keys`], so the session's
+/// eviction policy arbitrates residency shard by shard.
+pub fn shard_working_set_keys(
+    d: &SsbData,
+    pf: &PartitionedFact,
+    shard: usize,
+    q: &StarQuery,
+) -> Vec<ColumnKey> {
+    let fact = pf.shard(shard).encoded();
+    q.fact_columns()
+        .iter()
+        .map(|c| gpu::shard_column_key(d, shard, *c, fact))
+        .collect()
+}
+
+/// Per-shard placement over a partitioned fact table: each live (unpruned)
+/// shard is routed independently through the residency-aware bound, so hot
+/// shards run on the device while cold ones stay on the host — the two
+/// sides proceed concurrently, which is what makes the split worthwhile.
+pub struct ShardedChoice {
+    /// Shards that survive zone-map pruning, ascending.
+    pub live: Vec<usize>,
+    /// Live shards the bound routes to the device.
+    pub device_shards: Vec<usize>,
+    /// Live shards the bound keeps on the host.
+    pub host_shards: Vec<usize>,
+    /// Modeled device-side seconds across `device_shards`.
+    pub device_secs: f64,
+    /// Modeled host-side seconds across `host_shards`.
+    pub host_secs: f64,
+    /// Total device bound had every live shard run on the device — the
+    /// whole-query coprocessor alternative a scheduler compares against.
+    pub device_only_secs: f64,
+    /// Total host bound had every live shard run on the host.
+    pub host_only_secs: f64,
+}
+
+impl ShardedChoice {
+    /// The hybrid completion time: both sides run concurrently, so the
+    /// query finishes when the slower side does.
+    pub fn hybrid_secs(&self) -> f64 {
+        self.device_secs.max(self.host_secs)
+    }
+}
+
+/// Routes each live shard of `pf` to device or host by the same
+/// residency-aware Section 3.1 bound that [`choose_placement_session`]
+/// applies to the whole table — evaluated per shard, with residency read
+/// live from the session's cache under the shard-granular keys.
+pub fn choose_placement_sharded(
+    sess: &DeviceSession<'_>,
+    d: &SsbData,
+    pf: &PartitionedFact,
+    q: &StarQuery,
+    cpu: &CpuSpec,
+    pcie: &PcieSpec,
+) -> ShardedChoice {
+    let live = pf.live_shards(q);
+    let cols = q.fact_columns();
+    let params: Vec<ShardParams> = live
+        .iter()
+        .map(|&s| {
+            let shard = pf.shard(s);
+            ShardParams {
+                packed_bytes: shard.columns_bytes(&cols),
+                resident_bytes: sess.resident_bytes(&shard_working_set_keys(d, pf, s, q)),
+                packed_values: shard.packed_values(&cols),
+            }
+        })
+        .collect();
+    let gpu_spec = sess.spec().clone();
+    let split = hybrid_shard_split(&params, cpu, &gpu_spec, pcie);
+    ShardedChoice {
+        device_shards: split.device_shards.iter().map(|&i| live[i]).collect(),
+        host_shards: split.host_shards.iter().map(|&i| live[i]).collect(),
+        device_secs: split.device_secs,
+        host_secs: split.host_secs,
+        device_only_secs: split.device_only_secs,
+        host_only_secs: split.host_only_secs,
+        live,
+    }
+}
+
+/// Outcome of a hybrid sharded execution.
+pub struct ShardedPlacedRun {
+    pub choice: ShardedChoice,
+    pub result: QueryResult,
+    /// Bytes the device side actually shipped over PCIe.
+    pub shipped_bytes: usize,
+    /// Shards that completed on the device (OOM shards fall back to host).
+    pub device_shards_run: usize,
+    /// Fact rows scanned after pruning, across both sides.
+    pub scanned_rows: usize,
+}
+
+/// Executes `q` over the partitioned fact table with per-shard placement:
+/// device-routed shards run through the session (and fall back to the
+/// host individually on OOM), host-routed shards run through the morsel
+/// executor, and the two partial aggregates merge — aggregation is
+/// commutative addition, so the merged result is byte-identical to the
+/// unsharded pipeline's.
+pub fn execute_placed_sharded(
+    sess: &mut DeviceSession<'_>,
+    pcie: &PcieSpec,
+    cpu: &CpuSpec,
+    d: &SsbData,
+    pf: &PartitionedFact,
+    q: &StarQuery,
+) -> ShardedPlacedRun {
+    let choice = choose_placement_sharded(sess, d, pf, q, cpu, pcie);
+    let before = sess.stats().clone();
+    let mut agg = vec![0i64; q.group_domain()];
+    let mut scanned_rows = 0usize;
+    let mut device_shards_run = 0usize;
+    let mut host_ids = choice.host_shards.clone();
+    for &s in &choice.device_shards {
+        match run_device_shard(sess, d, pf, s, q) {
+            Ok((shard_agg, rows)) => {
+                for (a, b) in agg.iter_mut().zip(shard_agg) {
+                    *a += b;
+                }
+                scanned_rows += rows;
+                device_shards_run += 1;
+            }
+            // This shard's working set does not fit alongside what the
+            // session already holds: run it on the host instead.
+            Err(_) => host_ids.push(s),
         }
     }
+    host_ids.sort_unstable();
+    if !host_ids.is_empty() {
+        let mut job =
+            PartitionedHostJob::with_shards(d, pf, q, &host_ids, PipelineMode::Vectorized);
+        while !job.step(usize::MAX) {}
+        scanned_rows += job.rows_scanned();
+        for (a, b) in agg.iter_mut().zip(job.into_agg()) {
+            *a += b;
+        }
+    }
+    ShardedPlacedRun {
+        choice,
+        result: groups_to_result(q, &agg),
+        shipped_bytes: sess.stats().uploaded_since(&before),
+        device_shards_run,
+        scanned_rows,
+    }
+}
+
+/// Runs one shard to completion on the device, returning its partial
+/// aggregate and scanned row count. A [`SessionOom`] at admission leaves
+/// the session clean; once admitted a shard always completes.
+fn run_device_shard(
+    sess: &mut DeviceSession<'_>,
+    d: &SsbData,
+    pf: &PartitionedFact,
+    shard: usize,
+    q: &StarQuery,
+) -> Result<(Vec<i64>, usize), SessionOom> {
+    let rows = pf.shard(shard).rows();
+    let mut job = DeviceQueryJob::admit_shard(sess, d, pf, shard, q)?;
+    while !job.step(sess, usize::MAX) {}
+    let partial = job.into_partial(sess);
+    Ok((partial.agg, rows))
 }
 
 #[cfg(test)]
@@ -365,7 +565,7 @@ mod tests {
         let mut gpu = Gpu::new(nvidia_v100());
         let pcie = pcie_gen3();
         let q = query(&d, QueryId::new(1, 1));
-        let run = execute_scaled(&mut gpu, &pcie, &d, &q, 0.01);
+        let run = execute_scaled(&mut gpu, &pcie, &d, &q, 0.01).unwrap();
         // 4 columns x 6M rows x 4B = 96 MB at SF 1 -> transfer ~7.5 ms,
         // far above the ~0.1 ms of scaled GPU execution.
         assert!(run.time.transfer > run.time.exec, "transfer must dominate");
@@ -445,7 +645,7 @@ mod tests {
 
         // Warm the working set (e.g. an operator pinned the stream's hot
         // columns, or a forced device run shipped them once).
-        let warm_run = execute_session(&mut sess, &pcie, &d, &q);
+        let warm_run = execute_session(&mut sess, &pcie, &d, &q).unwrap();
         assert_eq!(warm_run.gpu_run.result, expected);
         assert!(warm_run.shipped_bytes > 0);
 
@@ -474,6 +674,126 @@ mod tests {
         let q = query(&d, QueryId::new(1, 1));
         let c = choose_placement(&d, &q, &cpu, &fast);
         assert_eq!(c.placement, Placement::Coprocessor);
+    }
+
+    /// Per-shard residency splits one query across both processors: warm
+    /// shards route to the device, cold shards stay on the host, and the
+    /// merged hybrid result is byte-identical to the unsharded pipeline.
+    #[test]
+    fn sharded_placement_routes_hot_shards_to_the_device() {
+        let d = SsbData::generate_scaled(1, 0.004, 11);
+        let cpu = intel_i7_6900();
+        let pcie = pcie_gen3();
+        let pf = PartitionedFact::partition(&d, 4, &FactEncodings::plain());
+        // q2.1 filters only through dimensions: every shard stays live.
+        let q = query(&d, QueryId::new(2, 1));
+        let expected = exec::execute(&d, &q, 4, PipelineMode::Vectorized).0;
+
+        let mut gpu = Gpu::new(nvidia_v100());
+        let mut sess = DeviceSession::new(&mut gpu);
+
+        // Cold: nothing resident, so every live shard routes to the host
+        // — the whole-table Gen3 conclusion, reproduced shard-wise.
+        let cold = choose_placement_sharded(&sess, &d, &pf, &q, &cpu, &pcie);
+        assert_eq!(cold.live.len(), pf.shard_count());
+        assert!(cold.device_shards.is_empty());
+        assert_eq!(cold.host_shards, cold.live);
+
+        // Warm shards 0 and 2 on the device.
+        for s in [0usize, 2] {
+            run_device_shard(&mut sess, &d, &pf, s, &q).unwrap();
+        }
+
+        // Warm: exactly the warmed shards flip to the device, and the
+        // hybrid (concurrent max) beats running everything on the host.
+        let warm = choose_placement_sharded(&sess, &d, &pf, &q, &cpu, &pcie);
+        assert_eq!(warm.device_shards, vec![0, 2]);
+        assert_eq!(warm.host_shards, vec![1, 3]);
+        assert!(warm.hybrid_secs() < cold.host_secs);
+
+        let run = execute_placed_sharded(&mut sess, &pcie, &cpu, &d, &pf, &q);
+        assert_eq!(run.device_shards_run, 2);
+        assert_eq!(run.shipped_bytes, 0, "warm shards ship nothing");
+        assert_eq!(run.scanned_rows, d.lineorder.rows());
+        assert_eq!(run.result, expected);
+    }
+
+    /// Zone-map pruning composes with hybrid placement: a date-filtered
+    /// query scans only the live shards' rows and still merges to the
+    /// unsharded answer.
+    #[test]
+    fn sharded_placement_prunes_before_placing() {
+        let d = SsbData::generate_scaled(1, 0.004, 11);
+        let cpu = intel_i7_6900();
+        let pcie = pcie_gen3();
+        let pf = PartitionedFact::partition(&d, 8, &FactEncodings::plain());
+        let q = query(&d, QueryId::new(1, 1)); // one-year date predicate
+        let expected = exec::execute(&d, &q, 4, PipelineMode::Vectorized).0;
+
+        let mut gpu = Gpu::new(nvidia_v100());
+        let mut sess = DeviceSession::new(&mut gpu);
+        let choice = choose_placement_sharded(&sess, &d, &pf, &q, &cpu, &pcie);
+        assert!(
+            choice.live.len() < pf.shard_count(),
+            "a one-year predicate must prune some of 8 shards over 7 years"
+        );
+
+        let run = execute_placed_sharded(&mut sess, &pcie, &cpu, &d, &pf, &q);
+        assert_eq!(run.scanned_rows, pf.live_rows(&q));
+        assert!(run.scanned_rows < d.lineorder.rows());
+        assert_eq!(run.result, expected);
+    }
+
+    /// A shard the cost model routes to the device but that no longer
+    /// fits (its columns are resident, but the device has no physical
+    /// room left for the hash tables) falls back to the host
+    /// *individually* — the query completes with the exact unsharded
+    /// answer instead of erroring.
+    #[test]
+    fn device_shard_oom_falls_back_to_the_host() {
+        use crystal_runtime::HostCol;
+        use crystal_storage::encoding::EncodedColumn;
+
+        let d = SsbData::generate_scaled(1, 0.004, 11);
+        let cpu = intel_i7_6900();
+        let pcie = pcie_gen3();
+        let pf = PartitionedFact::partition(&d, 4, &FactEncodings::plain());
+        let q = query(&d, QueryId::new(2, 1));
+        let expected = exec::execute(&d, &q, 4, PipelineMode::Vectorized).0;
+        let cols = q.fact_columns();
+
+        // Device capacity = shard 0's fact columns + 1 KiB: warming the
+        // columns fits exactly, but admission (columns pinned + hash
+        // tables) cannot — the typed OOM comes from physical capacity,
+        // not the soft cache budget.
+        let mut spec = nvidia_v100();
+        spec.mem_capacity = pf.shard(0).columns_bytes(&cols) + 1024;
+        let mut gpu = Gpu::new(spec);
+        let mut sess = DeviceSession::with_budget(&mut gpu, usize::MAX);
+        let qid = sess.begin_query();
+        for &c in &cols {
+            let key = gpu::shard_column_key(&d, 0, c, pf.shard(0).encoded());
+            match pf.shard(0).encoded().encoded(c) {
+                EncodedColumn::Plain(v) => sess.pin_column(qid, key, HostCol::Plain(v)).unwrap(),
+                EncodedColumn::Packed(p) => sess.pin_column(qid, key, HostCol::Packed(p)).unwrap(),
+            };
+        }
+        sess.end_query(qid);
+
+        // The model sees shard 0 fully resident and routes it to the
+        // device; execution discovers the working set no longer fits.
+        let choice = choose_placement_sharded(&sess, &d, &pf, &q, &cpu, &pcie);
+        assert_eq!(choice.device_shards, vec![0]);
+
+        let evictions_before = sess.stats().evictions;
+        let run = execute_placed_sharded(&mut sess, &pcie, &cpu, &d, &pf, &q);
+        assert_eq!(run.device_shards_run, 0, "the OOM shard ran on the host");
+        assert_eq!(run.scanned_rows, d.lineorder.rows());
+        assert_eq!(run.result, expected);
+        // The failed admission released its pins without evicting the
+        // warm columns (they were the only residents and stayed pinned
+        // until the admission unwound).
+        assert_eq!(sess.stats().evictions, evictions_before);
     }
 
     /// Both placement targets compute the same answer as the oracle.

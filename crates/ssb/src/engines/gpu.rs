@@ -39,15 +39,16 @@ use crystal_gpu_sim::exec::LaunchConfig;
 use crystal_gpu_sim::mem::DeviceBuffer;
 use crystal_gpu_sim::stats::KernelReport;
 use crystal_gpu_sim::Gpu;
-use crystal_runtime::{ColumnKey, DeviceCol, DeviceSession, HostCol};
+use crystal_runtime::{ColumnKey, DeviceCol, DeviceSession, HostCol, SessionOom};
 use crystal_storage::encoding::EncodedColumn;
 
 use crate::data::SsbData;
 use crate::encoding::EncodedFact;
 use crate::engines::{
-    build_dim_table, dim_join_fingerprint, dim_table_bytes, groups_to_result, DimBuild, QueryTrace,
-    StageTrace,
+    build_dim_table, dim_join_fingerprint, dim_table_bytes, groups_to_result, DimBuild, DimLookup,
+    QueryTrace, StageTrace,
 };
+use crate::partition::PartitionedFact;
 use crate::plan::{FactCol, StarQuery};
 use crate::QueryResult;
 
@@ -63,6 +64,22 @@ pub fn column_key(d: &SsbData, col: FactCol, fact: Option<&EncodedFact>) -> Colu
         dataset: d.fingerprint(),
         col: col.index() as u32,
         encoding,
+    }
+}
+
+/// The session cache key of one **shard's** column: the shard index is
+/// packed into the key's `col` field above the 4 bits the nine plain
+/// column indices occupy, so every shard is an independent residency
+/// unit — GreedyDual-Size arbitrates *which shards* stay device-resident
+/// under a budget smaller than the sharded working set, instead of
+/// treating the fact table as one indivisible column set. Shard keys
+/// start at `col = 16`, so they can never alias the unsharded keys of
+/// the same dataset.
+pub fn shard_column_key(d: &SsbData, shard: usize, col: FactCol, fact: &EncodedFact) -> ColumnKey {
+    ColumnKey {
+        dataset: d.fingerprint(),
+        col: ((shard as u32 + 1) << 4) | col.index() as u32,
+        encoding: fact.encoded(col).encoding(),
     }
 }
 
@@ -91,12 +108,15 @@ impl GpuRun {
 
     /// Simulated seconds with the fact-linear kernels scaled by
     /// `1/fact_scale` (see [`SsbData::generate_scaled`]): build kernels are
-    /// dimension-sized and excluded from scaling.
+    /// dimension-sized and excluded from scaling. Which kernels scale is
+    /// decided by the explicit [`KernelReport::fact_linear`] tag the engine
+    /// sets at launch, not by kernel-name matching — renaming a kernel
+    /// cannot silently break extrapolation.
     pub fn sim_secs_scaled(&self, fact_scale: f64) -> f64 {
         self.reports
             .iter()
             .map(|r| {
-                if r.name.starts_with("ssb_probe") {
+                if r.fact_linear {
                     r.time.total_secs() / fact_scale
                 } else {
                     r.time.total_secs()
@@ -108,21 +128,34 @@ impl GpuRun {
 
 /// Executes one query on the simulated GPU over plain 4-byte columns,
 /// with the old upload/execute/free lifecycle (a transient session).
-pub fn execute(gpu: &mut Gpu, d: &SsbData, q: &StarQuery) -> GpuRun {
+/// Returns the typed [`SessionOom`] when the query's working set cannot
+/// fit the device — small device configs surface the error instead of
+/// aborting the process.
+pub fn execute(gpu: &mut Gpu, d: &SsbData, q: &StarQuery) -> Result<GpuRun, SessionOom> {
     let mut sess = DeviceSession::new(gpu);
     execute_session(&mut sess, d, q)
 }
 
 /// Executes one query through a (possibly warm) session over plain
-/// columns.
-pub fn execute_session(sess: &mut DeviceSession<'_>, d: &SsbData, q: &StarQuery) -> GpuRun {
+/// columns. Fallible under memory pressure, like [`execute`].
+pub fn execute_session(
+    sess: &mut DeviceSession<'_>,
+    d: &SsbData,
+    q: &StarQuery,
+) -> Result<GpuRun, SessionOom> {
     execute_on(sess, d, None, q)
 }
 
 /// Executes one query on the simulated GPU directly over an encoded fact
 /// table (transient session): packed columns ship and stay as packed
-/// words, and the kernel unpacks tiles in registers.
-pub fn execute_encoded(gpu: &mut Gpu, d: &SsbData, fact: &EncodedFact, q: &StarQuery) -> GpuRun {
+/// words, and the kernel unpacks tiles in registers. Fallible under
+/// memory pressure, like [`execute`].
+pub fn execute_encoded(
+    gpu: &mut Gpu,
+    d: &SsbData,
+    fact: &EncodedFact,
+    q: &StarQuery,
+) -> Result<GpuRun, SessionOom> {
     let mut sess = DeviceSession::new(gpu);
     execute_encoded_session(&mut sess, d, fact, q)
 }
@@ -133,7 +166,7 @@ pub fn execute_encoded_session(
     d: &SsbData,
     fact: &EncodedFact,
     q: &StarQuery,
-) -> GpuRun {
+) -> Result<GpuRun, SessionOom> {
     fact.check_scale(d);
     execute_on(sess, d, Some(fact), q)
 }
@@ -142,17 +175,18 @@ pub fn execute_encoded_session(
 /// phase, probe kernel, scratch cleanup. Implemented as a
 /// [`DeviceQueryJob`] admitted and driven to completion in one step, so
 /// the run-to-completion engines and the resumable concurrent frontend
-/// execute byte-for-byte the same pipeline.
+/// execute byte-for-byte the same pipeline. Admission failure propagates
+/// as the session's typed [`SessionOom`].
 fn execute_on(
     sess: &mut DeviceSession<'_>,
     d: &SsbData,
     fact: Option<&EncodedFact>,
     q: &StarQuery,
-) -> GpuRun {
-    let mut job = DeviceQueryJob::admit(sess, d, fact, q).unwrap_or_else(|e| panic!("{e}"));
+) -> Result<GpuRun, SessionOom> {
+    let mut job = DeviceQueryJob::admit(sess, d, fact, q)?;
     let done = job.step(sess, usize::MAX);
     debug_assert!(done, "an unbounded step finishes the fact table");
-    job.finish(sess)
+    Ok(job.finish(sess))
 }
 
 /// A resumable device-side query execution.
@@ -161,7 +195,7 @@ fn execute_on(
 /// **pinning** the fact columns and memoized dimension tables under a
 /// session pin ledger, and allocating the group-table scratch — and is
 /// fallible: under multi-tenant pressure it returns the session's typed
-/// [`SessionOom`](crystal_runtime::SessionOom) instead of panicking, which is the admission
+/// [`SessionOom`] instead of panicking, which is the admission
 /// controller's signal to defer the query. Each [`DeviceQueryJob::step`]
 /// then launches the fused probe kernel over a bounded range of fact rows
 /// and yields, so a scheduler can interleave morsel grants across many
@@ -195,7 +229,7 @@ pub struct DeviceQueryJob<'a> {
 impl<'a> DeviceQueryJob<'a> {
     /// Admits one query: pins its working set (columns + dimension
     /// tables) under a fresh pin ledger and allocates its scratch.
-    /// On [`SessionOom`](crystal_runtime::SessionOom) every pin taken so far is released before
+    /// On [`SessionOom`] every pin taken so far is released before
     /// returning, leaving the session exactly as found.
     pub fn admit(
         sess: &mut DeviceSession<'_>,
@@ -203,8 +237,39 @@ impl<'a> DeviceQueryJob<'a> {
         fact: Option<&'a EncodedFact>,
         q: &'a StarQuery,
     ) -> Result<Self, crystal_runtime::SessionOom> {
+        let n = d.lineorder.rows();
+        Self::admit_with(sess, d, fact, q, n, &|c| column_key(d, c, fact))
+    }
+
+    /// Admits one **shard** of a partitioned fact table as a query job:
+    /// the shard's encoded columns are pinned under shard-granular
+    /// [`shard_column_key`]s (each shard is its own residency unit) and
+    /// the scan covers the shard's rows. Dimension tables are memoized
+    /// by build-side fingerprint exactly as in the unsharded path, so
+    /// every shard of one query shares them.
+    pub fn admit_shard(
+        sess: &mut DeviceSession<'_>,
+        d: &'a SsbData,
+        pf: &'a PartitionedFact,
+        shard: usize,
+        q: &'a StarQuery,
+    ) -> Result<Self, crystal_runtime::SessionOom> {
+        let fact = pf.shard(shard).encoded();
+        Self::admit_with(sess, d, Some(fact), q, fact.rows(), &|c| {
+            shard_column_key(d, shard, c, fact)
+        })
+    }
+
+    fn admit_with(
+        sess: &mut DeviceSession<'_>,
+        d: &'a SsbData,
+        fact: Option<&'a EncodedFact>,
+        q: &'a StarQuery,
+        n: usize,
+        key_of: &dyn Fn(FactCol) -> ColumnKey,
+    ) -> Result<Self, crystal_runtime::SessionOom> {
         let qid = sess.begin_query();
-        match Self::admit_inner(sess, qid, d, fact, q) {
+        match Self::admit_inner(sess, qid, d, fact, q, n, key_of) {
             Ok(job) => Ok(job),
             Err(e) => {
                 sess.end_query(qid);
@@ -219,14 +284,15 @@ impl<'a> DeviceQueryJob<'a> {
         d: &'a SsbData,
         fact: Option<&'a EncodedFact>,
         q: &'a StarQuery,
+        n: usize,
+        key_of: &dyn Fn(FactCol) -> ColumnKey,
     ) -> Result<Self, crystal_runtime::SessionOom> {
-        let n = d.lineorder.rows();
         let mut reports = Vec::new();
 
         let cols = q.fact_columns();
         let mut device_cols = Vec::with_capacity(cols.len());
         for &c in &cols {
-            let key = column_key(d, c, fact);
+            let key = key_of(c);
             let rc = match fact {
                 None => sess.pin_column(qid, key, HostCol::Plain(c.data(d)))?,
                 // Every column resolves from the encoded table (not from
@@ -435,7 +501,7 @@ impl<'a> DeviceQueryJob<'a> {
                 agg_host[0] += block_sum;
             }
         });
-        self.reports.push(report);
+        self.reports.push(report.tag_fact_linear());
         self.cursor == self.n
     }
 
@@ -443,8 +509,44 @@ impl<'a> DeviceQueryJob<'a> {
     /// working set and trimming the cache back within budget) and
     /// assembles the run. Cached columns and memoized tables stay
     /// resident in the session.
-    pub fn finish(mut self, sess: &mut DeviceSession<'_>) -> GpuRun {
+    pub fn finish(self, sess: &mut DeviceSession<'_>) -> GpuRun {
         assert_eq!(self.cursor, self.n, "finished a job with rows remaining");
+        let (q, n) = (self.q, self.n);
+        let p = self.into_partial(sess);
+        let result = groups_to_result(q, &p.agg);
+        let trace = QueryTrace {
+            fact_rows: n,
+            pred_survivors: p.pred_survivors,
+            stages: p.stages,
+            result_rows: p.result_rows,
+            groups: result.rows(),
+        };
+        GpuRun {
+            result,
+            trace,
+            reports: p.reports,
+        }
+    }
+
+    /// Releases every device resource of an in-flight job without
+    /// producing a run — the recovery path when a *sharded* execution
+    /// hits a mid-query admission OOM and the whole query restarts on
+    /// the host. Leaves the session exactly as a finished job would
+    /// (cached columns stay resident).
+    pub fn abandon(mut self, sess: &mut DeviceSession<'_>) {
+        if let Some(agg_table) = self.agg_table.take() {
+            sess.free_scratch(agg_table);
+        }
+        self.tables.clear();
+        self.device_cols.clear();
+        sess.end_query(self.qid);
+    }
+
+    /// Retires the job into raw per-shard state (merged by
+    /// [`DeviceShardedJob`]): the dense aggregate table, trace counters,
+    /// stage traces and kernel reports, with all device resources
+    /// released.
+    pub(crate) fn into_partial(mut self, sess: &mut DeviceSession<'_>) -> ShardPartial {
         if let Some(agg_table) = self.agg_table.take() {
             sess.free_scratch(agg_table);
         }
@@ -464,10 +566,243 @@ impl<'a> DeviceQueryJob<'a> {
         self.tables.clear();
         self.device_cols.clear();
         sess.end_query(self.qid);
+        ShardPartial {
+            agg: self.agg_host,
+            pred_survivors: self.pred_survivors,
+            probes: self.probes,
+            hits: self.hits,
+            result_rows: self.result_rows,
+            stages,
+            reports: self.reports,
+        }
+    }
+}
 
-        let result = groups_to_result(self.q, &self.agg_host);
+/// Raw retired state of one device query (or one shard of one): what the
+/// sharded merge-aggregation folds together.
+pub(crate) struct ShardPartial {
+    pub(crate) agg: Vec<i64>,
+    pub(crate) pred_survivors: usize,
+    pub(crate) probes: Vec<usize>,
+    pub(crate) hits: Vec<usize>,
+    pub(crate) result_rows: usize,
+    pub(crate) stages: Vec<StageTrace>,
+    pub(crate) reports: Vec<KernelReport>,
+}
+
+/// A resumable device-side execution over a **sharded** fact table.
+///
+/// Zone-map pruning picks the live shards at admission; shards then run
+/// one at a time as [`DeviceQueryJob`]s whose columns are pinned under
+/// shard-granular keys ([`shard_column_key`]), so only the *current*
+/// shard's columns are pinned at any moment — the session's
+/// GreedyDual-Size cache arbitrates which retired shards stay resident
+/// under a budget smaller than the full sharded working set, and a warm
+/// replay re-uploads only the shards that were evicted. Dimension hash
+/// tables are memoized across shards (same build-side fingerprint), so
+/// only the first shard pays the build kernels.
+///
+/// [`DeviceShardedJob::step`] is fallible: advancing past a shard
+/// boundary admits the next shard, which can OOM mid-query under
+/// multi-tenant pressure. The typed error is the caller's signal to
+/// [`DeviceShardedJob::abandon`] the device half and restart the query
+/// on the host ([`crate::exec::PartitionedHostJob`]) — partial device
+/// work is discarded, so the restart stays byte-identical.
+///
+/// Merging is commutative `i64` addition of per-shard dense group
+/// tables, so the finished [`GpuRun`] is byte-identical to the unsharded
+/// engine for every shard count and grant pattern.
+pub struct DeviceShardedJob<'a> {
+    d: &'a SsbData,
+    pf: &'a PartitionedFact,
+    q: &'a StarQuery,
+    /// Live (unpruned) shard ids, in scan order.
+    live: Vec<usize>,
+    /// Next index into `live` to admit.
+    next: usize,
+    cur: Option<DeviceQueryJob<'a>>,
+    agg: Vec<i64>,
+    pred_survivors: usize,
+    probes: Vec<usize>,
+    hits: Vec<usize>,
+    result_rows: usize,
+    reports: Vec<KernelReport>,
+    /// Stage traces of the first retired shard — the source of the
+    /// ht_bytes / insert-fraction fields all shards share.
+    stage_meta: Option<Vec<StageTrace>>,
+    scanned: usize,
+}
+
+impl<'a> DeviceShardedJob<'a> {
+    /// Prunes, then admits the first live shard. A query whose every
+    /// shard is pruned admits nothing and is immediately complete.
+    pub fn admit(
+        sess: &mut DeviceSession<'_>,
+        d: &'a SsbData,
+        pf: &'a PartitionedFact,
+        q: &'a StarQuery,
+    ) -> Result<Self, SessionOom> {
+        let joins = q.joins.len();
+        let mut job = DeviceShardedJob {
+            d,
+            pf,
+            q,
+            live: pf.live_shards(q),
+            next: 0,
+            cur: None,
+            agg: vec![0i64; q.group_domain()],
+            pred_survivors: 0,
+            probes: vec![0usize; joins],
+            hits: vec![0usize; joins],
+            result_rows: 0,
+            reports: Vec::new(),
+            stage_meta: None,
+            scanned: 0,
+        };
+        job.admit_next(sess)?;
+        Ok(job)
+    }
+
+    fn admit_next(&mut self, sess: &mut DeviceSession<'_>) -> Result<(), SessionOom> {
+        if self.next < self.live.len() {
+            let shard = self.live[self.next];
+            self.next += 1;
+            self.cur = Some(DeviceQueryJob::admit_shard(
+                sess, self.d, self.pf, shard, self.q,
+            )?);
+        }
+        Ok(())
+    }
+
+    fn retire(&mut self, sess: &mut DeviceSession<'_>, job: DeviceQueryJob<'a>) {
+        let p = job.into_partial(sess);
+        for (a, v) in self.agg.iter_mut().zip(&p.agg) {
+            *a += v;
+        }
+        self.pred_survivors += p.pred_survivors;
+        for j in 0..self.probes.len() {
+            self.probes[j] += p.probes[j];
+            self.hits[j] += p.hits[j];
+        }
+        self.result_rows += p.result_rows;
+        self.reports.extend(p.reports);
+        if self.stage_meta.is_none() {
+            self.stage_meta = Some(p.stages);
+        }
+    }
+
+    /// Fact rows not yet processed (current shard plus unadmitted ones).
+    pub fn remaining_rows(&self) -> usize {
+        self.cur.as_ref().map_or(0, DeviceQueryJob::remaining_rows)
+            + self.live[self.next..]
+                .iter()
+                .map(|&s| self.pf.shard(s).rows())
+                .sum::<usize>()
+    }
+
+    /// Rows scanned so far (live shards only — the pruning saving).
+    pub fn rows_scanned(&self) -> usize {
+        self.scanned
+    }
+
+    /// Simulated kernel seconds launched so far, across retired shards
+    /// and the in-flight one.
+    pub fn sim_secs_so_far(&self) -> f64 {
+        self.reports
+            .iter()
+            .map(|r| r.time.total_secs())
+            .sum::<f64>()
+            + self
+                .cur
+                .as_ref()
+                .map_or(0.0, DeviceQueryJob::sim_secs_so_far)
+    }
+
+    /// Processes up to `max_rows` rows, retiring finished shards and
+    /// admitting the next as the cursor crosses shard boundaries.
+    /// Returns `Ok(true)` once every live shard is done; a mid-query
+    /// shard admission can fail with the session's typed [`SessionOom`],
+    /// in which case the caller abandons the job (nothing is half-pinned
+    /// — the failed admission cleaned up after itself).
+    pub fn step(
+        &mut self,
+        sess: &mut DeviceSession<'_>,
+        max_rows: usize,
+    ) -> Result<bool, SessionOom> {
+        let mut budget = max_rows;
+        loop {
+            let Some(cur) = self.cur.as_mut() else {
+                return Ok(true);
+            };
+            let grant = budget.min(cur.remaining_rows());
+            if grant == 0 {
+                return Ok(false);
+            }
+            let done = cur.step(sess, grant);
+            self.scanned += grant;
+            budget -= grant;
+            if done {
+                let job = self.cur.take().expect("a job was just stepped");
+                self.retire(sess, job);
+                self.admit_next(sess)?;
+                if self.cur.is_none() {
+                    return Ok(true);
+                }
+            }
+            if budget == 0 {
+                return Ok(false);
+            }
+        }
+    }
+
+    /// Releases the in-flight shard's device resources without a result
+    /// — the mid-query OOM recovery path. Retired shards' partial work
+    /// is discarded with the job.
+    pub fn abandon(mut self, sess: &mut DeviceSession<'_>) {
+        if let Some(job) = self.cur.take() {
+            job.abandon(sess);
+        }
+    }
+
+    /// Assembles the merged run. `fact_rows` reports the full table size
+    /// so the trace compares against unsharded runs directly; in the
+    /// all-shards-pruned case the stage sizes come from a host-side
+    /// dimension build (no device table was ever constructed).
+    pub fn finish(self, sess: &mut DeviceSession<'_>) -> GpuRun {
+        assert!(
+            self.cur.is_none() && self.next >= self.live.len(),
+            "finished a sharded job with shards remaining"
+        );
+        let _ = sess;
+        let result = groups_to_result(self.q, &self.agg);
+        let stages = match self.stage_meta {
+            Some(meta) => meta
+                .into_iter()
+                .enumerate()
+                .map(|(j, m)| StageTrace {
+                    probes: self.probes[j],
+                    hits: self.hits[j],
+                    ..m
+                })
+                .collect(),
+            None => self
+                .q
+                .joins
+                .iter()
+                .map(|join| {
+                    let lk = DimLookup::build(self.d, join);
+                    StageTrace {
+                        table: join.table,
+                        probes: 0,
+                        hits: 0,
+                        ht_bytes: lk.size_bytes(),
+                        dim_insert_frac: lk.inserted as f64 / join.keys(self.d).len().max(1) as f64,
+                    }
+                })
+                .collect(),
+        };
         let trace = QueryTrace {
-            fact_rows: self.n,
+            fact_rows: self.pf.total_rows(),
             pred_survivors: self.pred_survivors,
             stages,
             result_rows: self.result_rows,
@@ -476,7 +811,30 @@ impl<'a> DeviceQueryJob<'a> {
         GpuRun {
             result,
             trace,
-            reports: std::mem::take(&mut self.reports),
+            reports: self.reports,
+        }
+    }
+}
+
+/// Runs a sharded query through a (possibly warm) session to completion:
+/// the sharded sibling of [`execute_session`]. A mid-query shard
+/// admission OOM abandons the device work and surfaces the typed error
+/// (the copro path then restarts the query on the host).
+pub fn execute_partitioned_session(
+    sess: &mut DeviceSession<'_>,
+    d: &SsbData,
+    pf: &PartitionedFact,
+    q: &StarQuery,
+) -> Result<GpuRun, SessionOom> {
+    let mut job = DeviceShardedJob::admit(sess, d, pf, q)?;
+    loop {
+        match job.step(sess, usize::MAX) {
+            Ok(true) => return Ok(job.finish(sess)),
+            Ok(false) => continue,
+            Err(e) => {
+                job.abandon(sess);
+                return Err(e);
+            }
         }
     }
 }
@@ -498,7 +856,7 @@ mod tests {
         let mut gpu = Gpu::new(nvidia_v100());
         for q in all_queries(&d) {
             let expected = reference::execute(&d, &q);
-            let run = execute(&mut gpu, &d, &q);
+            let run = execute(&mut gpu, &d, &q).unwrap();
             assert_eq!(run.result, expected, "{} diverged", q.name);
         }
     }
@@ -508,7 +866,7 @@ mod tests {
         let d = data();
         let mut gpu = Gpu::new(nvidia_v100());
         let q = query(&d, QueryId::new(2, 1));
-        let run = execute(&mut gpu, &d, &q);
+        let run = execute(&mut gpu, &d, &q).unwrap();
         let probe = run.reports.last().unwrap();
         let n = d.lineorder.rows();
         // Reads must stay well below "all four columns fully" thanks to
@@ -528,7 +886,7 @@ mod tests {
         let d = data();
         let mut gpu = Gpu::new(nvidia_v100());
         let q = query(&d, QueryId::new(1, 1));
-        let run = execute(&mut gpu, &d, &q);
+        let run = execute(&mut gpu, &d, &q).unwrap();
         let probe = run.reports.last().unwrap();
         let tiles = d.lineorder.rows().div_ceil(512) as u64;
         assert_eq!(probe.stats.same_addr_atomics, tiles);
@@ -540,7 +898,7 @@ mod tests {
         let d = data();
         let mut gpu = Gpu::new(nvidia_v100());
         let q = query(&d, QueryId::new(2, 1));
-        let run = execute(&mut gpu, &d, &q);
+        let run = execute(&mut gpu, &d, &q).unwrap();
         let probe = run.reports.last().unwrap();
         assert_eq!(
             probe.stats.scattered_atomics as usize,
@@ -555,7 +913,7 @@ mod tests {
         let d = data();
         let mut gpu = Gpu::new(nvidia_v100());
         let q = query(&d, QueryId::new(2, 1));
-        let _ = execute(&mut gpu, &d, &q);
+        let _ = execute(&mut gpu, &d, &q).unwrap();
         assert_eq!(gpu.mem_used(), 0);
     }
 
@@ -570,7 +928,7 @@ mod tests {
         let mut gpu = Gpu::new(nvidia_v100());
         let mut sess = DeviceSession::new(&mut gpu);
 
-        let cold = execute_session(&mut sess, &d, &q);
+        let cold = execute_session(&mut sess, &d, &q).unwrap();
         assert_eq!(cold.result, expected);
         let cold_uploaded = sess.stats().uploaded_bytes;
         assert_eq!(
@@ -579,7 +937,7 @@ mod tests {
         );
 
         let before = sess.stats().clone();
-        let warm = execute_session(&mut sess, &d, &q);
+        let warm = execute_session(&mut sess, &d, &q).unwrap();
         assert_eq!(warm.result, expected, "warm run diverged");
         assert_eq!(
             sess.stats().uploaded_since(&before),
@@ -594,10 +952,10 @@ mod tests {
 
         // A joined query memoizes its dimension tables the same way.
         let q21 = query(&d, QueryId::new(2, 1));
-        let cold21 = execute_session(&mut sess, &d, &q21);
+        let cold21 = execute_session(&mut sess, &d, &q21).unwrap();
         let builds_after_cold = sess.stats().ht_misses;
         assert!(builds_after_cold >= 3, "q2.1 builds its three dim tables");
-        let warm21 = execute_session(&mut sess, &d, &q21);
+        let warm21 = execute_session(&mut sess, &d, &q21).unwrap();
         assert_eq!(warm21.result, cold21.result);
         assert_eq!(sess.stats().ht_misses, builds_after_cold, "no rebuilds");
         assert_eq!(sess.stats().ht_hits, 3, "all three joins memoized");
@@ -616,14 +974,14 @@ mod tests {
         for q in all_queries(&d).into_iter().take(5) {
             let expected = reference::execute(&d, &q);
             gpu.reset_l2();
-            let run = execute_encoded(&mut gpu, &d, &fact, &q);
+            let run = execute_encoded(&mut gpu, &d, &fact, &q).unwrap();
             assert_eq!(run.result, expected, "{} packed diverged", q.name);
         }
         let q11 = query(&d, QueryId::new(1, 1));
         gpu.reset_l2();
-        let plain = execute(&mut gpu, &d, &q11);
+        let plain = execute(&mut gpu, &d, &q11).unwrap();
         gpu.reset_l2();
-        let packed = execute_encoded(&mut gpu, &d, &fact, &q11);
+        let packed = execute_encoded(&mut gpu, &d, &fact, &q11).unwrap();
         let pr = plain.reports.last().unwrap();
         let kr = packed.reports.last().unwrap();
         assert!(
@@ -640,7 +998,7 @@ mod tests {
         let d = data();
         let mut gpu = Gpu::new(nvidia_v100());
         let q = query(&d, QueryId::new(2, 1));
-        let run = execute(&mut gpu, &d, &q);
+        let run = execute(&mut gpu, &d, &q).unwrap();
         let unscaled = run.sim_secs();
         let scaled = run.sim_secs_scaled(0.5);
         assert!(scaled > unscaled);
@@ -650,5 +1008,172 @@ mod tests {
             .sum();
         let probe = run.reports.last().unwrap().time.total_secs();
         assert!((scaled - (build + probe * 2.0)).abs() < 1e-12);
+    }
+
+    /// Extrapolation keys on the explicit `fact_linear` tag, not the
+    /// kernel's name: renaming every kernel in a run must not change
+    /// which launches scale.
+    #[test]
+    fn renamed_kernels_still_scale() {
+        let d = data();
+        let mut gpu = Gpu::new(nvidia_v100());
+        let q = query(&d, QueryId::new(2, 1));
+        let mut run = execute(&mut gpu, &d, &q).unwrap();
+        let scaled = run.sim_secs_scaled(0.5);
+        for (i, r) in run.reports.iter_mut().enumerate() {
+            r.name = format!("opaque_kernel_{i}");
+        }
+        assert_eq!(
+            run.sim_secs_scaled(0.5),
+            scaled,
+            "renaming a kernel changed what extrapolates"
+        );
+        assert!(
+            run.reports.last().unwrap().fact_linear,
+            "the probe launch carries the explicit tag"
+        );
+    }
+
+    /// The sharded device path is byte-identical to the unsharded engine
+    /// — result *and* trace — for every query and several shard counts,
+    /// and pruning scans fewer rows on the date-filtered q1.1.
+    #[test]
+    fn sharded_device_execution_matches_unsharded() {
+        use crate::encoding::FactEncodings;
+        let d = data();
+        for shards in [1usize, 3, 8] {
+            let pf = PartitionedFact::partition(&d, shards, &FactEncodings::plain());
+            let mut gpu = Gpu::new(nvidia_v100());
+            for q in all_queries(&d) {
+                let mut g2 = Gpu::new(nvidia_v100());
+                let expected = execute(&mut g2, &d, &q).unwrap();
+                let mut sess = DeviceSession::new(&mut gpu);
+                let run = execute_partitioned_session(&mut sess, &d, &pf, &q).unwrap();
+                assert_eq!(run.result, expected.result, "{} x{shards} result", q.name);
+                assert_eq!(run.trace, expected.trace, "{} x{shards} trace", q.name);
+            }
+        }
+        let pf = PartitionedFact::partition(&d, 8, &FactEncodings::plain());
+        let q11 = query(&d, QueryId::new(1, 1));
+        assert!(
+            pf.live_rows(&q11) < d.lineorder.rows(),
+            "a one-year predicate must prune 8 shards over 7 years"
+        );
+    }
+
+    /// Splitting a sharded device job into arbitrary grants changes
+    /// nothing: every grant pattern yields the byte-identical run.
+    #[test]
+    fn sharded_job_is_grant_invariant() {
+        use crate::encoding::FactEncodings;
+        let d = data();
+        let pf = PartitionedFact::partition(&d, 5, &FactEncodings::plain());
+        let q = query(&d, QueryId::new(3, 2));
+        let mut gpu = Gpu::new(nvidia_v100());
+        let mut sess = DeviceSession::new(&mut gpu);
+        let whole = execute_partitioned_session(&mut sess, &d, &pf, &q).unwrap();
+        for grant in [997usize, 4096, usize::MAX] {
+            let mut g = Gpu::new(nvidia_v100());
+            let mut s = DeviceSession::new(&mut g);
+            let mut job = DeviceShardedJob::admit(&mut s, &d, &pf, &q).unwrap();
+            assert_eq!(job.remaining_rows(), pf.live_rows(&q));
+            while !job.step(&mut s, grant).unwrap() {}
+            assert_eq!(job.rows_scanned(), pf.live_rows(&q));
+            let run = job.finish(&mut s);
+            assert_eq!(run.result, whole.result, "grant {grant} diverged");
+            assert_eq!(run.trace, whole.trace, "grant {grant} trace diverged");
+        }
+    }
+
+    /// The beyond-memory acceptance test: a session whose budget is half
+    /// the sharded working set must evict between shards, yet a two-pass
+    /// replay of every query stays byte-identical to the unsharded run.
+    #[test]
+    fn starved_sharded_replay_evicts_and_matches() {
+        use crate::encoding::FactEncodings;
+        let d = data();
+        let pf = PartitionedFact::partition(&d, 8, &FactEncodings::plain());
+        let mut gpu = Gpu::new(nvidia_v100());
+        let budget = pf.size_bytes() / 2;
+        let mut sess = DeviceSession::with_budget(&mut gpu, budget);
+        for pass in 0..2 {
+            for q in all_queries(&d) {
+                let mut g2 = Gpu::new(nvidia_v100());
+                let expected = execute(&mut g2, &d, &q).unwrap();
+                let run = execute_partitioned_session(&mut sess, &d, &pf, &q).unwrap();
+                assert_eq!(run.result, expected.result, "{} pass {pass}", q.name);
+            }
+        }
+        assert!(
+            sess.stats().evictions > 0,
+            "half the working set must force eviction: {:?}",
+            sess.stats()
+        );
+    }
+
+    /// Mid-query shard admission OOM: another tenant pins the retiring
+    /// shard's columns *and* holds scratch covering the rest of a small
+    /// device, so the next shard cannot fit. The job surfaces the typed
+    /// error, `abandon` releases everything it held, and once the tenant
+    /// lets go the same query completes cleanly in the same session.
+    #[test]
+    fn mid_query_oom_abandons_cleanly() {
+        use crate::encoding::FactEncodings;
+        let d = data();
+        let pf = PartitionedFact::partition(&d, 4, &FactEncodings::plain());
+        let q = query(&d, QueryId::new(2, 1));
+        let cols = q.fact_columns();
+        let shard0 = pf.shard(0);
+
+        // A device a few shards wide: room for one admitted shard plus
+        // the memoized dimension tables (with the build's 2x staging
+        // headroom), nowhere near the whole table.
+        use crate::engines::dim_table_bytes;
+        let dims: usize = q.joins.iter().map(|j| dim_table_bytes(&d, j)).sum();
+        let mut spec = nvidia_v100();
+        spec.mem_capacity = 2 * dims + 4 * shard0.columns_bytes(&cols);
+        let mut gpu = Gpu::new(spec);
+        let mut sess = DeviceSession::with_budget(&mut gpu, usize::MAX);
+        let mut job = DeviceShardedJob::admit(&mut sess, &d, &pf, &q).unwrap();
+
+        // A second tenant pins shard 0's columns (pure cache hits) and
+        // fills every remaining physical byte with scratch, so retiring
+        // shard 0 frees nothing shard 1 could use.
+        let ext = sess.begin_query();
+        for &c in &cols {
+            let key = shard_column_key(&d, 0, c, shard0.encoded());
+            let rc = match shard0.encoded().encoded(c) {
+                EncodedColumn::Plain(v) => sess.pin_column(ext, key, HostCol::Plain(v)),
+                EncodedColumn::Packed(p) => sess.pin_column(ext, key, HostCol::Packed(p)),
+            };
+            rc.expect("hitting a resident column allocates nothing");
+        }
+        let free = {
+            let g = sess.gpu();
+            g.spec().mem_capacity - g.mem_used()
+        };
+        let ballast: crystal_gpu_sim::DeviceBuffer<u8> = sess
+            .try_alloc_scratch_zeroed(free.saturating_sub(512))
+            .expect("the free remainder is allocatable");
+
+        let err = loop {
+            match job.step(&mut sess, 1024) {
+                Ok(true) => panic!("crossing into shard 1 must OOM under the pins"),
+                Ok(false) => {}
+                Err(e) => break e,
+            }
+        };
+        assert!(err.requested > 0, "the OOM reports what it asked for");
+        job.abandon(&mut sess);
+        sess.gpu().free(ballast);
+        sess.end_query(ext);
+
+        // Everything the abandoned job and the tenant held was released:
+        // the same query now runs shard-at-a-time to completion in the
+        // same session on the same small device.
+        let run = execute_partitioned_session(&mut sess, &d, &pf, &q).unwrap();
+        let mut g2 = Gpu::new(nvidia_v100());
+        let expected = execute(&mut g2, &d, &q).unwrap();
+        assert_eq!(run.result, expected.result, "post-abandon run diverged");
     }
 }

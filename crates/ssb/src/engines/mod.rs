@@ -235,7 +235,7 @@ impl DimLookup {
 }
 
 /// Probe statistics of one join stage.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageTrace {
     pub table: DimTable,
     /// Probes issued (rows surviving earlier stages).
@@ -249,7 +249,7 @@ pub struct StageTrace {
 }
 
 /// Execution trace of one query: the inputs of the Section 5.3 model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryTrace {
     pub fact_rows: usize,
     /// Rows passing the fact-column predicates (== fact_rows when none).

@@ -50,14 +50,15 @@ impl OmnisciRun {
     }
 
     /// Scaled total (see [`crate::engines::gpu::GpuRun::sim_secs_scaled`]);
-    /// this engine's per-operator kernels are fact-linear, and the
-    /// build kernels (when the session runs them cold) are
-    /// dimension-sized and excluded.
+    /// this engine's per-operator kernels are fact-linear and carry the
+    /// explicit [`KernelReport::fact_linear`] tag, while the build kernels
+    /// (when the session runs them cold) are dimension-sized and excluded —
+    /// no kernel-name matching involved.
     pub fn sim_secs_scaled(&self, fact_scale: f64) -> f64 {
         self.reports
             .iter()
             .map(|r| {
-                if r.name.starts_with("omnisci_") {
+                if r.fact_linear {
                     r.time.total_secs() / fact_scale
                 } else {
                     r.time.total_secs()
@@ -113,7 +114,7 @@ pub fn execute_session(sess: &mut DeviceSession<'_>, d: &SsbData, q: &StarQuery)
                 ctx.global_write_coalesced(len);
             },
         );
-        reports.push(r);
+        reports.push(r.tag_fact_linear());
     }
 
     // Join kernels: read FK column + flags, probe the memoized
@@ -154,7 +155,7 @@ pub fn execute_session(sess: &mut DeviceSession<'_>, d: &SsbData, q: &StarQuery)
                 ctx.global_write_coalesced(len * 5);
             },
         );
-        reports.push(r);
+        reports.push(r.tag_fact_linear());
         code_bufs.push(codes);
     }
 
@@ -210,7 +211,7 @@ pub fn execute_session(sess: &mut DeviceSession<'_>, d: &SsbData, q: &StarQuery)
                 ctx.compute(2);
             }
         });
-    reports.push(r);
+    reports.push(r.tag_fact_linear());
 
     // Scratch cleanup; session-cached columns and tables stay resident
     // (the trim re-establishes the cache budget once the query's pins
@@ -259,7 +260,7 @@ mod tests {
         let d = data();
         let mut gpu = Gpu::new(nvidia_v100());
         let q = query(&d, QueryId::new(2, 1));
-        let crystal = crystal_gpu::execute(&mut gpu, &d, &q);
+        let crystal = crystal_gpu::execute(&mut gpu, &d, &q).unwrap();
         gpu.reset_l2();
         let omnisci = execute(&mut gpu, &d, &q);
         let crystal_probe: f64 = crystal.reports.last().unwrap().time.total_secs();
@@ -279,7 +280,7 @@ mod tests {
         let expected = reference::execute(&d, &q);
         let mut gpu = Gpu::new(nvidia_v100());
         let mut sess = DeviceSession::new(&mut gpu);
-        let crystal = crystal_gpu::execute_session(&mut sess, &d, &q);
+        let crystal = crystal_gpu::execute_session(&mut sess, &d, &q).unwrap();
         assert_eq!(crystal.result, expected);
         let before = sess.stats().clone();
         let omnisci = execute_session(&mut sess, &d, &q);

@@ -71,6 +71,7 @@ use crystal_storage::encoding::{ColumnRead, ColumnSlice};
 use crate::data::SsbData;
 use crate::encoding::EncodedFact;
 use crate::engines::{groups_to_result, DimLookup, QueryTrace, StageTrace};
+use crate::partition::PartitionedFact;
 use crate::plan::{AggExpr, StarQuery};
 use crate::QueryResult;
 
@@ -593,6 +594,229 @@ impl<'a> HostQueryJob<'a> {
     }
 }
 
+/// Executes a query over a sharded fact table: zone-map pruning first,
+/// then each live shard runs the existing morsel-driven pipeline over its
+/// own (independently encoded) columns, and one merge-aggregation folds
+/// the per-shard worker tables — commutative `i64` addition into the
+/// shared dense group domain, so the merged result is byte-identical to
+/// the unsharded reference for every shard count. Pruned shards would
+/// have contributed zero predicate survivors (that is what pruning
+/// proves), so the trace matches the unsharded run too; `fact_rows`
+/// stays the *total* row count. Returns the rows actually scanned as the
+/// third element — the quantity the pruning band pins.
+pub fn execute_partitioned(
+    d: &SsbData,
+    pf: &PartitionedFact,
+    q: &StarQuery,
+    threads: usize,
+    mode: PipelineMode,
+) -> (QueryResult, QueryTrace, usize) {
+    let lookups: Vec<DimLookup> = q.joins.iter().map(|j| DimLookup::build(d, j)).collect();
+    let domain = q.group_domain();
+    let joins = q.joins.len();
+    let carried = carried_of(q);
+    let carries: Vec<bool> = q.joins.iter().map(|j| j.group_attr.is_some()).collect();
+
+    let mut workers: Vec<WorkerAcc> = Vec::new();
+    let mut scanned = 0usize;
+    for s in pf.live_shards(q) {
+        let shard = pf.shard(s);
+        let (pred_cols, fk_cols, agg_cols) = encoded_columns(shard.encoded(), q);
+        let ctx = QueryCtx {
+            q,
+            lookups: &lookups,
+            carried: &carried,
+            carries: &carries,
+            fk_cols: &fk_cols,
+            pred_cols: &pred_cols,
+            agg_cols: &agg_cols,
+        };
+        let rows = shard.rows();
+        scanned += rows;
+        workers.extend(morsel_map(
+            rows,
+            threads,
+            MORSEL_SIZE,
+            |queue: &MorselQueue| {
+                let mut acc = WorkerAcc::new(domain, joins);
+                let mut scratch = Scratch::new(joins, mode);
+                while let Some(m) = queue.claim() {
+                    match mode {
+                        PipelineMode::Vectorized => {
+                            vectorized_range(&ctx, m.start, m.end, &mut acc, &mut scratch)
+                        }
+                        PipelineMode::TupleAtATime => {
+                            tuple_range(&ctx, m.start, m.end, &mut acc, &mut scratch)
+                        }
+                    }
+                }
+                acc
+            },
+        ));
+    }
+
+    let (result, trace) = assemble(d, q, &lookups, pf.total_rows(), workers);
+    (result, trace, scanned)
+}
+
+/// A resumable host-side execution over a sharded fact table — the
+/// sharded sibling of [`HostQueryJob`]. One accumulator spans every
+/// shard (merge-aggregation by construction); the cursor walks
+/// `(shard, offset)` pairs so a scheduler's bounded grants interleave
+/// shard work exactly like unsharded morsels. Zone-map pruning is
+/// applied at construction; [`PartitionedHostJob::with_shards`] instead
+/// takes an explicit shard set, which is how the hybrid placement path
+/// runs only its host-routed shards.
+pub struct PartitionedHostJob<'a> {
+    d: &'a SsbData,
+    q: &'a StarQuery,
+    lookups: Vec<DimLookup>,
+    carried: Vec<(usize, usize)>,
+    carries: Vec<bool>,
+    /// Resolved columns and row count per (live) shard, in scan order.
+    shards: Vec<(Columns<'a>, usize)>,
+    mode: PipelineMode,
+    acc: WorkerAcc,
+    scratch: Scratch,
+    /// Current shard index (into `shards`) and row offset within it.
+    shard: usize,
+    cursor: usize,
+    total_rows: usize,
+    scanned: usize,
+}
+
+impl<'a> PartitionedHostJob<'a> {
+    /// A job over the shards pruning leaves live for `q`.
+    pub fn new(
+        d: &'a SsbData,
+        pf: &'a PartitionedFact,
+        q: &'a StarQuery,
+        mode: PipelineMode,
+    ) -> Self {
+        Self::with_shards(d, pf, q, &pf.live_shards(q), mode)
+    }
+
+    /// A job over an explicit shard subset (already pruned by the
+    /// caller, e.g. the host half of a hybrid placement).
+    pub fn with_shards(
+        d: &'a SsbData,
+        pf: &'a PartitionedFact,
+        q: &'a StarQuery,
+        shard_ids: &[usize],
+        mode: PipelineMode,
+    ) -> Self {
+        let lookups: Vec<DimLookup> = q.joins.iter().map(|j| DimLookup::build(d, j)).collect();
+        let joins = q.joins.len();
+        let shards = shard_ids
+            .iter()
+            .map(|&s| {
+                let shard = pf.shard(s);
+                (encoded_columns(shard.encoded(), q), shard.rows())
+            })
+            .collect();
+        PartitionedHostJob {
+            d,
+            q,
+            lookups,
+            carried: carried_of(q),
+            carries: q.joins.iter().map(|j| j.group_attr.is_some()).collect(),
+            shards,
+            mode,
+            acc: WorkerAcc::new(q.group_domain(), joins),
+            scratch: Scratch::new(joins, mode),
+            shard: 0,
+            cursor: 0,
+            total_rows: pf.total_rows(),
+            scanned: 0,
+        }
+    }
+
+    /// Rows not yet processed, across the remaining shards.
+    pub fn remaining_rows(&self) -> usize {
+        let current = self
+            .shards
+            .get(self.shard)
+            .map_or(0, |(_, rows)| rows - self.cursor);
+        current
+            + self.shards[(self.shard + 1).min(self.shards.len())..]
+                .iter()
+                .map(|(_, rows)| rows)
+                .sum::<usize>()
+    }
+
+    /// Rows scanned so far (the pruning band's numerator once done).
+    pub fn rows_scanned(&self) -> usize {
+        self.scanned
+    }
+
+    /// Processes up to `max_rows` rows, crossing shard boundaries as
+    /// needed, and yields. Returns `true` once every live shard is done.
+    pub fn step(&mut self, max_rows: usize) -> bool {
+        let mut budget = max_rows;
+        while budget > 0 && self.shard < self.shards.len() {
+            let (cols, rows) = &self.shards[self.shard];
+            let start = self.cursor;
+            let end = start.saturating_add(budget).min(*rows);
+            if start < end {
+                let (pred_cols, fk_cols, agg_cols) = cols;
+                let ctx = QueryCtx {
+                    q: self.q,
+                    lookups: &self.lookups,
+                    carried: &self.carried,
+                    carries: &self.carries,
+                    fk_cols,
+                    pred_cols,
+                    agg_cols,
+                };
+                match self.mode {
+                    PipelineMode::Vectorized => {
+                        vectorized_range(&ctx, start, end, &mut self.acc, &mut self.scratch)
+                    }
+                    PipelineMode::TupleAtATime => {
+                        tuple_range(&ctx, start, end, &mut self.acc, &mut self.scratch)
+                    }
+                }
+                budget -= end - start;
+                self.scanned += end - start;
+            }
+            self.cursor = end;
+            if self.cursor == *rows {
+                self.shard += 1;
+                self.cursor = 0;
+            }
+        }
+        self.shard >= self.shards.len()
+    }
+
+    /// Assembles the merged result and trace; callable once every live
+    /// shard has been scanned. `fact_rows` reports the full (unsharded)
+    /// table size so traces compare against unsharded runs directly.
+    pub fn finish(self) -> (QueryResult, QueryTrace) {
+        assert!(
+            self.shard >= self.shards.len(),
+            "finished a sharded job with shards remaining"
+        );
+        assemble(
+            self.d,
+            self.q,
+            &self.lookups,
+            self.total_rows,
+            vec![self.acc],
+        )
+    }
+
+    /// The raw merged group table (dense domain order) — the hybrid
+    /// placement path folds this into the device shards' table before
+    /// building one result.
+    pub fn into_agg(self) -> Vec<i64> {
+        assert!(
+            self.shard >= self.shards.len(),
+            "finished a sharded job with shards remaining"
+        );
+        self.acc.agg
+    }
+}
+
 /// Vector-at-a-time pipeline over one contiguous row range: each L1-sized
 /// vector flows through the selection-vector kernels, with per-column
 /// packed/plain dispatch at every stage.
@@ -793,6 +1017,103 @@ mod tests {
                     execute_encoded_with_morsel(&d, &fact, &q, 3, 999, PipelineMode::Vectorized);
                 assert_eq!(r, expected, "seed {seed} {}", q.name);
             }
+        }
+    }
+
+    /// Sharded execution is byte-identical to the unsharded reference —
+    /// results *and* traces — across shard counts, encodings and modes,
+    /// and pruning scans strictly fewer rows on date-filtered queries.
+    #[test]
+    fn partitioned_execution_matches_unsharded() {
+        use crate::partition::PartitionedFact;
+        let d = data();
+        for shards in [1, 3, 8] {
+            let pf = PartitionedFact::partition(&d, shards, &FactEncodings::plain());
+            for q in all_queries(&d) {
+                let (expected, base_trace) = execute(&d, &q, 4, PipelineMode::Vectorized);
+                let (r, t, scanned) = execute_partitioned(&d, &pf, &q, 4, PipelineMode::Vectorized);
+                assert_eq!(r, expected, "{} sharded x{shards} diverged", q.name);
+                assert_eq!(t.fact_rows, base_trace.fact_rows, "{}", q.name);
+                assert_eq!(t.pred_survivors, base_trace.pred_survivors, "{}", q.name);
+                assert_eq!(t.result_rows, base_trace.result_rows, "{}", q.name);
+                for (a, b) in t.stages.iter().zip(&base_trace.stages) {
+                    assert_eq!(a.probes, b.probes, "{}", q.name);
+                    assert_eq!(a.hits, b.hits, "{}", q.name);
+                }
+                assert!(scanned <= d.lineorder.rows());
+            }
+            // The one-year q1.1 date filter must scan strictly fewer
+            // rows once there is more than one shard to prune.
+            let q11 = crate::queries::query(&d, crate::QueryId::new(1, 1));
+            let (_, _, scanned) = execute_partitioned(&d, &pf, &q11, 4, PipelineMode::Vectorized);
+            if pf.shard_count() > 1 {
+                assert!(scanned < d.lineorder.rows(), "x{shards}: no pruning");
+            }
+        }
+    }
+
+    /// Packed shards and the tuple-at-a-time mode reuse the same kernels.
+    #[test]
+    fn partitioned_execution_matches_packed_and_tuple() {
+        use crate::partition::PartitionedFact;
+        let d = data();
+        let enc = FactEncodings::packed_min(&d);
+        let pf = PartitionedFact::partition(&d, 5, &enc);
+        for q in all_queries(&d).into_iter().take(6) {
+            let expected = reference::execute(&d, &q);
+            let (r, _, _) = execute_partitioned(&d, &pf, &q, 3, PipelineMode::Vectorized);
+            assert_eq!(r, expected, "{} packed sharded diverged", q.name);
+            let (r, _, _) = execute_partitioned(&d, &pf, &q, 2, PipelineMode::TupleAtATime);
+            assert_eq!(r, expected, "{} tuple sharded diverged", q.name);
+        }
+    }
+
+    /// The resumable sharded job is grant-pattern invariant and crosses
+    /// shard boundaries mid-grant without losing rows.
+    #[test]
+    fn partitioned_job_is_grant_invariant() {
+        use crate::partition::PartitionedFact;
+        let d = data();
+        let pf = PartitionedFact::partition(&d, 7, &FactEncodings::plain());
+        for q in all_queries(&d).into_iter().take(5) {
+            let (expected, base_trace) = execute(&d, &q, 1, PipelineMode::Vectorized);
+            for grant in [usize::MAX, 1009, 3 * VECTOR_SIZE + 7] {
+                let mut job = PartitionedHostJob::new(&d, &pf, &q, PipelineMode::Vectorized);
+                let live_rows = pf.live_rows(&q);
+                assert_eq!(job.remaining_rows(), live_rows, "{}", q.name);
+                while !job.step(grant) {}
+                assert_eq!(job.remaining_rows(), 0);
+                assert_eq!(job.rows_scanned(), live_rows);
+                let (r, t) = job.finish();
+                assert_eq!(r, expected, "{} grant {grant}", q.name);
+                assert_eq!(t.pred_survivors, base_trace.pred_survivors);
+                assert_eq!(t.result_rows, base_trace.result_rows);
+            }
+        }
+    }
+
+    /// All shards pruned: the job scans nothing and still produces the
+    /// correct empty-input result for grouped and scalar aggregates.
+    #[test]
+    fn all_pruned_shards_yield_empty_input_semantics() {
+        use crate::partition::PartitionedFact;
+        use crate::plan::{FactCol, FactPred};
+        let d = data();
+        let pf = PartitionedFact::partition(&d, 4, &FactEncodings::plain());
+        for qid in [crate::QueryId::new(1, 1), crate::QueryId::new(2, 1)] {
+            let mut q = crate::queries::query(&d, qid);
+            q.fact_preds
+                .push(FactPred::between(FactCol::OrderDate, 30000101, 30001231));
+            assert!(pf.live_shards(&q).is_empty());
+            let (expected, _) = execute(&d, &q, 2, PipelineMode::Vectorized);
+            let (r, t, scanned) = execute_partitioned(&d, &pf, &q, 2, PipelineMode::Vectorized);
+            assert_eq!(r, expected, "{qid:?} all-pruned diverged");
+            assert_eq!(scanned, 0, "pruned everything yet scanned rows");
+            assert_eq!(t.pred_survivors, 0);
+            assert_eq!(t.result_rows, 0);
+            let mut job = PartitionedHostJob::new(&d, &pf, &q, PipelineMode::Vectorized);
+            assert!(job.step(usize::MAX));
+            assert_eq!(job.finish().0, expected);
         }
     }
 

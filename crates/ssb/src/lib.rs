@@ -36,6 +36,12 @@
 //! engine and the coprocessor route), and the Section-5.2 dictionary
 //! literal rewrite that turns string filters into packed-code range
 //! checks.
+//!
+//! [`partition`] makes the fact table a first-class sharded object:
+//! equal-width `lo_orderdate` range shards, each independently encoded
+//! with a min/max zone map, plus predicate pruning — the storage layer
+//! of the beyond-memory regime, executed by
+//! [`exec::execute_partitioned`] and the per-shard device residency path.
 
 pub mod arbitrary;
 pub mod data;
@@ -44,12 +50,14 @@ pub mod engines;
 pub mod exec;
 pub mod model;
 pub mod optimizer;
+pub mod partition;
 pub mod plan;
 pub mod queries;
 pub mod result;
 
 pub use data::SsbData;
 pub use encoding::{EncodedFact, FactEncodings};
+pub use partition::PartitionedFact;
 pub use plan::StarQuery;
 pub use queries::{all_queries, query, QueryId};
 pub use result::QueryResult;

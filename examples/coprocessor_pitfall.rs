@@ -32,12 +32,12 @@ fn main() {
 
     // Coprocessor: 4 fact columns cross PCIe, overlapped with execution.
     let mut gpu = Gpu::new(nvidia_v100());
-    let run = copro::execute_scaled(&mut gpu, &pcie, &data, &q, fact_scale);
+    let run = copro::execute_scaled(&mut gpu, &pcie, &data, &q, fact_scale).unwrap();
     assert_eq!(run.gpu_run.result, cpu_result);
 
     // GPU-resident: the same kernels, data already in device memory.
     gpu.reset_l2();
-    let resident = gpu_engine::execute(&mut gpu, &data, &q);
+    let resident = gpu_engine::execute(&mut gpu, &data, &q).unwrap();
     let t_resident = resident.sim_secs_scaled(fact_scale);
 
     println!("SSB q1.1 at scale factor 20 (120M rows), modeled on Table-2 hardware:\n");

@@ -57,7 +57,7 @@ fn main() {
 
         let (cpu_result, trace) = cpu_engine::execute(&data, &q, threads);
         gpu.reset_l2();
-        let gpu_run = gpu_engine::execute(&mut gpu, &data, &q);
+        let gpu_run = gpu_engine::execute(&mut gpu, &data, &q).unwrap();
         assert_eq!(cpu_result, gpu_run.result, "engines must agree");
 
         match &cpu_result {

@@ -106,8 +106,8 @@ fn two_datasets_through_one_session_never_alias() {
         let q1 = query(&d1, id);
         let q2 = query(&d2, id);
         // Alternate datasets within one warm session.
-        let r1 = gpu_engine::execute_session(&mut sess, &d1, &q1);
-        let r2 = gpu_engine::execute_session(&mut sess, &d2, &q2);
+        let r1 = gpu_engine::execute_session(&mut sess, &d1, &q1).unwrap();
+        let r2 = gpu_engine::execute_session(&mut sess, &d2, &q2).unwrap();
         assert_eq!(r1.result, reference::execute(&d1, &q1), "{} on d1", q1.name);
         assert_eq!(r2.result, reference::execute(&d2, &q2), "{} on d2", q2.name);
     }

@@ -43,7 +43,7 @@ fn all_engines_agree_on_all_13_queries() {
         );
 
         device.reset_l2();
-        let run = gpu::execute(&mut device, &d, &q);
+        let run = gpu::execute(&mut device, &d, &q).unwrap();
         assert_eq!(
             run.result, expected,
             "{}: Crystal GPU engine diverged",
@@ -66,7 +66,7 @@ fn gpu_and_cpu_traces_agree_on_selectivities() {
     let mut device = Gpu::new(nvidia_v100());
     for q in all_queries(&d) {
         let (_, cpu_trace) = cpu::execute(&d, &q, 4);
-        let run = gpu::execute(&mut device, &d, &q);
+        let run = gpu::execute(&mut device, &d, &q).unwrap();
         assert_eq!(
             cpu_trace.pred_survivors, run.trace.pred_survivors,
             "{}",
@@ -89,7 +89,7 @@ fn engines_agree_across_scale_factors() {
             let expected = reference::execute(&d, &q);
             let (got, _) = cpu::execute(&d, &q, 2);
             assert_eq!(got, expected, "{} sf{sf}", q.name);
-            let run = gpu::execute(&mut device, &d, &q);
+            let run = gpu::execute(&mut device, &d, &q).unwrap();
             assert_eq!(run.result, expected, "{} sf{sf} gpu", q.name);
         }
     }

@@ -27,7 +27,7 @@ fn starved_session_evicts_but_stays_byte_identical() {
     let expected: Vec<_> = queries.iter().map(|q| reference::execute(&d, q)).collect();
     let mut uncached_gpu = Gpu::new(nvidia_v100());
     for (q, e) in queries.iter().zip(&expected) {
-        let run = gpu_engine::execute(&mut uncached_gpu, &d, q);
+        let run = gpu_engine::execute(&mut uncached_gpu, &d, q).unwrap();
         assert_eq!(&run.result, e, "{} uncached diverged", q.name);
     }
 
@@ -42,7 +42,7 @@ fn starved_session_evicts_but_stays_byte_identical() {
 
     for pass in 0..2 {
         for (q, e) in queries.iter().zip(&expected) {
-            let run = gpu_engine::execute_session(&mut sess, &d, q);
+            let run = gpu_engine::execute_session(&mut sess, &d, q).unwrap();
             assert_eq!(
                 &run.result, e,
                 "{} pass {pass} diverged under memory pressure",
@@ -83,7 +83,7 @@ fn roomy_session_never_evicts() {
     let mut gpu = Gpu::new(nvidia_v100());
     let mut sess = DeviceSession::new(&mut gpu);
     for q in &queries {
-        let run = gpu_engine::execute_session(&mut sess, &d, q);
+        let run = gpu_engine::execute_session(&mut sess, &d, q).unwrap();
         assert_eq!(run.result, reference::execute(&d, q), "{}", q.name);
     }
     assert_eq!(sess.stats().evictions, 0);

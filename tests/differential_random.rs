@@ -207,7 +207,7 @@ fn pinned_stream_replays_identically_through_a_warm_session() {
             let got_hyper = hyper::execute(&d, q, 4);
             assert_eq!(got_hyper, expected, "query {i}: hyper diverged");
 
-            let run = gpu_engine::execute_session(&mut sess, &d, q);
+            let run = gpu_engine::execute_session(&mut sess, &d, q).unwrap();
             assert_eq!(
                 run.result, expected,
                 "query {i} pass {pass}: warm session diverged from cold oracle"
@@ -235,6 +235,59 @@ fn pinned_stream_replays_identically_through_a_warm_session() {
             after_first_pass = Some(sess.stats().clone());
         }
     }
+}
+
+/// Sharding under the pinned seed: random queries over a range-
+/// partitioned fact table — zone-map pruning, per-shard encoding, and
+/// shard-at-a-time merging on host and device — reproduce the row-wise
+/// oracle byte-for-byte, including through a memory-starved session that
+/// must evict between shards.
+#[test]
+fn pinned_sharded_replay_matches_the_oracle_under_eviction() {
+    use crystal::runtime::DeviceSession;
+    use crystal::ssb::encoding::FactEncodings;
+    use crystal::ssb::engines::gpu as gpu_engine;
+    use crystal::ssb::PartitionedFact;
+
+    let seed = base_seed();
+    let d = SsbData::generate_scaled(1, 0.001, seed); // 6k fact rows
+    let pf = PartitionedFact::partition(&d, 6, &FactEncodings::plain());
+    let stream: Vec<_> = (0..12u64)
+        .map(|i| random_star_query(&d, seed.wrapping_add(i)))
+        .collect();
+
+    // Host sharded path, with pruning visible in the scan counts.
+    let mut pruned_any = false;
+    for (i, q) in stream.iter().enumerate() {
+        let expected = reference::execute(&d, q);
+        let (got, _, scanned) = exec::execute_partitioned(&d, &pf, q, 3, PipelineMode::Vectorized);
+        assert_eq!(got, expected, "query {i}: sharded host diverged");
+        assert_eq!(scanned, pf.live_rows(q), "query {i}: scan count");
+        pruned_any |= scanned < d.lineorder.rows();
+    }
+    assert!(pruned_any, "the pinned stream never exercised pruning");
+
+    // Device sharded path under a budget of half the sharded working
+    // set: shards rotate through the cache across the two passes, and
+    // every merged result still matches the oracle.
+    let mut gpu = Gpu::new(nvidia_v100());
+    let mut sess = DeviceSession::with_budget(&mut gpu, pf.size_bytes() / 2);
+    for pass in 0..2 {
+        for (i, q) in stream.iter().enumerate() {
+            let expected = reference::execute(&d, q);
+            let run = gpu_engine::execute_partitioned_session(&mut sess, &d, &pf, q)
+                .expect("every single-shard working set fits half the table");
+            assert_eq!(
+                run.result, expected,
+                "query {i} pass {pass}: starved sharded session diverged"
+            );
+        }
+    }
+    assert!(
+        sess.stats().evictions > 0,
+        "half the sharded working set must evict: {:?}",
+        sess.stats()
+    );
 }
 
 /// The two pipeline modes and adversarial morsel sizes agree on random

@@ -44,7 +44,7 @@ fn assert_all_engines(d: &SsbData, q: &StarQuery, expected: &QueryResult) {
     );
 
     let mut device = Gpu::new(nvidia_v100());
-    let run = gpu::execute(&mut device, d, q);
+    let run = gpu::execute(&mut device, d, q).unwrap();
     assert_eq!(&run.result, expected, "{}: Crystal GPU engine", q.name);
 
     device.reset_l2();
@@ -56,7 +56,7 @@ fn assert_all_engines(d: &SsbData, q: &StarQuery, expected: &QueryResult) {
     );
 
     device.reset_l2();
-    let co = copro::execute(&mut device, &pcie_gen3(), d, q);
+    let co = copro::execute(&mut device, &pcie_gen3(), d, q).unwrap();
     assert_eq!(
         &co.gpu_run.result, expected,
         "{}: coprocessor engine",
