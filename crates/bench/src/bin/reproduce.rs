@@ -33,6 +33,11 @@
 //!               probe kernels on plain/packed columns; writes
 //!               BENCH_kernels.json (pass --smoke for the CI parity gate)
 //!   whatif      operator gains on a newer CPU/GPU pairing (Section 5.4)
+//!   fusion      fused megakernel vs per-operator kernels: per-query
+//!               HBM read/write bytes and kernel-launch counts on a warm
+//!               session, byte-identity asserted against the oracle
+//!               (exits non-zero if a band is missed; --smoke shrinks
+//!               the proxy table for CI)
 //!   sharded     beyond-memory sharded SSB: zone-map partition pruning
 //!               fractions per query plus an eviction-heavy device
 //!               replay under half the sharded working set, byte-
@@ -105,6 +110,11 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            "fusion" => {
+                if !crystal_bench::fusion::fusion(&cfg, smoke) {
+                    std::process::exit(1);
+                }
+            }
             "sharded" => {
                 if !crystal_bench::sharded::sharded(&cfg, smoke) {
                     std::process::exit(1);
@@ -124,6 +134,7 @@ fn main() {
                 crystal_bench::ablation::run_all(&cfg);
                 crystal_bench::stream::query_stream(&cfg);
                 crystal_bench::contention::contention(&cfg, smoke);
+                crystal_bench::fusion::fusion(&cfg, smoke);
                 crystal_bench::sharded::sharded(&cfg, smoke);
                 crystal_bench::kernels::microbench(&cfg, smoke);
                 tables::whatif();
@@ -131,7 +142,7 @@ fn main() {
             }
             other => {
                 eprintln!("unknown experiment: {other}");
-                eprintln!("known: table2 fig3 fig9 tile-model fig10 fig12 fig13 fig14 sort fig16 case-study table3 ablations query-stream contention sharded microbench whatif scorecard all (plus ablation-radix-join ablation-join-order ablation-multi-gpu ablation-agg ablation-compression ablation-hybrid ablation-skew)");
+                eprintln!("known: table2 fig3 fig9 tile-model fig10 fig12 fig13 fig14 sort fig16 case-study table3 ablations query-stream contention fusion sharded microbench whatif scorecard all (plus ablation-radix-join ablation-join-order ablation-multi-gpu ablation-agg ablation-compression ablation-hybrid ablation-skew)");
                 std::process::exit(2);
             }
         }

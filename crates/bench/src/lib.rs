@@ -16,6 +16,7 @@
 
 pub mod ablation;
 pub mod contention;
+pub mod fusion;
 pub mod kernels;
 pub mod micro;
 pub mod scorecard;

@@ -363,6 +363,31 @@ pub fn scorecard(cfg: &Config) -> bool {
         });
     }
 
+    // Whole-query fusion (the FusedStarKernel tentpole): q1.1's warm
+    // fused pass must read far fewer HBM bytes than the per-operator
+    // path, and every canned plan must execute as exactly one kernel
+    // launch (byte-identity against the oracle is asserted inside
+    // `measure_fusion`).
+    {
+        let dd = SsbData::generate_scaled(1, 0.002, crate::stream::STREAM_SEED);
+        let ms = crate::fusion::measure_fusion(&dd);
+        let q11 = ms.iter().find(|m| m.query == "q1.1").unwrap();
+        checks.push(Check {
+            name: "fused q1.1 HBM read shrink (>= 1.8x)",
+            paper: 2.0,
+            reproduced: q11.read_shrink(),
+            lo: crate::fusion::Q11_HBM_READ_SHRINK_MIN,
+            hi: f64::INFINITY,
+        });
+        checks.push(Check {
+            name: "fused launches per plan (13 plans, == 1)",
+            paper: crate::fusion::FUSED_LAUNCHES as f64,
+            reproduced: ms.iter().map(|m| m.fused.launches).max().unwrap() as f64,
+            lo: crate::fusion::FUSED_LAUNCHES as f64,
+            hi: crate::fusion::FUSED_LAUNCHES as f64,
+        });
+    }
+
     // Word-parallel chunked kernels: the two-phase chunked packed
     // selection scan must be no slower than the retained scalar reference
     // at whatever optimization level this scorecard runs under (the

@@ -96,7 +96,7 @@ pub fn fig16(cfg: &Config) {
         let crystal_run = gpu_engine::execute(&mut gpu, &d, &q).unwrap();
         let t_gpu = crystal_run.sim_secs_scaled(cfg.fact_scale);
         gpu.reset_l2();
-        let omni_run = omnisci::execute(&mut gpu, &d, &q);
+        let omni_run = omnisci::execute_unfused(&mut gpu, &d, &q);
         let t_omni = omni_run.sim_secs_scaled(cfg.fact_scale);
         assert_eq!(
             crystal_run.result, omni_run.result,

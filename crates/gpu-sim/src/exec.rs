@@ -13,7 +13,7 @@ use crystal_hardware::GpuSpec;
 
 use crate::cache::Cache;
 use crate::mem::{DeviceBuffer, Memory, OutOfDeviceMemory};
-use crate::stats::{KernelReport, KernelStats};
+use crate::stats::{ExecStats, KernelReport, KernelStats};
 use crate::timing::{kernel_time, LaunchShape};
 
 /// Kernel launch geometry, mirroring CUDA's `<<<grid, block>>>` plus the
@@ -214,6 +214,7 @@ pub struct Gpu {
     mem: Memory,
     l2: Cache,
     reports: Vec<KernelReport>,
+    exec: ExecStats,
 }
 
 impl Gpu {
@@ -225,6 +226,7 @@ impl Gpu {
             mem,
             l2,
             reports: Vec::new(),
+            exec: ExecStats::default(),
         }
     }
 
@@ -314,17 +316,29 @@ impl Gpu {
             uses_barriers: stats.barriers > 0,
         };
         let time = kernel_time(&self.spec, &shape, &stats);
+        self.exec.launches += 1;
+        self.exec.hbm_read_bytes += stats.hbm_read_bytes();
+        self.exec.hbm_write_bytes += stats.hbm_write_bytes();
         let report = KernelReport {
             name: name.to_string(),
             grid_dim: cfg.grid_dim,
             block_dim: cfg.block_dim,
             items_per_thread: cfg.items_per_thread,
+            launches: 1,
             stats,
             time,
             fact_linear: false,
         };
         self.reports.push(report.clone());
         report
+    }
+
+    /// Cumulative device-level execution counters since construction.
+    ///
+    /// Snapshot before and after a query and diff with [`ExecStats::since`]
+    /// to attribute launches and HBM traffic to that query.
+    pub fn exec_stats(&self) -> ExecStats {
+        self.exec
     }
 
     /// All kernel reports since construction or the last
@@ -449,6 +463,25 @@ mod tests {
         let taken = gpu.take_reports();
         assert_eq!(taken.len(), 2);
         assert!(gpu.reports().is_empty());
+    }
+
+    #[test]
+    fn exec_stats_count_launches_and_hbm_traffic() {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let cfg = LaunchConfig::for_items(512, 128, 4);
+        let before = gpu.exec_stats();
+        assert_eq!(before.launches, 0);
+        gpu.launch("a", cfg, |ctx| {
+            ctx.global_read_coalesced(1024);
+            ctx.global_write_coalesced(256);
+        });
+        gpu.launch("b", cfg, |ctx| ctx.global_read_coalesced(512));
+        let d = gpu.exec_stats().since(&before);
+        assert_eq!(d.launches, 2);
+        assert_eq!(d.hbm_read_bytes, 1536);
+        assert_eq!(d.hbm_write_bytes, 256);
+        // Each individual report covers exactly one launch.
+        assert!(gpu.reports().iter().all(|r| r.launches == 1));
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Whole-query fusion: one kernel per star query.
+//!
+//! The paper's tile-based execution model (Section 3.2) exists precisely so
+//! that a full select→probe×N→aggregate pipeline can run as a *single*
+//! kernel: a thread block loads one tile of fact rows into shared memory /
+//! registers, filters it, probes every dimension hash table, and folds the
+//! survivors into per-block aggregates — the intermediate selection vector
+//! never touches HBM. [`FusedStarKernel`] is the device-side half of that
+//! contract: it owns the launch geometry and the shared-memory accounting,
+//! while the query engine supplies the per-tile body as a closure (the
+//! simulator cannot know about query plans; the dependency points the other
+//! way).
+//!
+//! The per-tile footprint it charges is
+//!
+//! ```text
+//! tile * 4 * (3 + joins) + tile
+//! ```
+//!
+//! bytes: one 4-byte staging slot per item for the column being loaded, two
+//! more for the aggregate inputs, one per join for the looked-up dimension
+//! code, plus one byte per item for the survivor bitmap. When that footprint
+//! would not fit the device's shared-memory budget, [`FusedStarKernel::plan`]
+//! degrades the tile (items-per-thread first, then block width) instead of
+//! panicking — occupancy accounting stays honest and the kernel still runs,
+//! just with smaller tiles.
+
+use crystal_hardware::GpuSpec;
+
+use crate::exec::{BlockCtx, Gpu, LaunchConfig};
+use crate::stats::KernelReport;
+
+/// Descriptor for one fused star-query kernel: how many fact rows it covers
+/// and how many dimension hash tables each tile probes.
+#[derive(Debug, Clone)]
+pub struct FusedStarKernel {
+    name: String,
+    items: usize,
+    joins: usize,
+}
+
+impl FusedStarKernel {
+    /// A fused kernel named `name` covering `items` fact rows with `joins`
+    /// hash-table probes per surviving row.
+    pub fn new(name: impl Into<String>, items: usize, joins: usize) -> Self {
+        FusedStarKernel {
+            name: name.into(),
+            items,
+            joins,
+        }
+    }
+
+    /// The charged per-block shared-memory footprint for a `tile`-item tile
+    /// probing `joins` dimension tables: `tile * 4 * (3 + joins) + tile`.
+    pub fn shared_mem_bytes(tile: usize, joins: usize) -> usize {
+        tile * 4 * (3 + joins) + tile
+    }
+
+    /// Plans the launch: the paper's preferred 128-thread × 4-items-per-thread
+    /// tile when the charged footprint fits the device, degrading to a
+    /// smaller tile (items-per-thread first, then block width, floored at
+    /// one warp) when it would blow the shared-memory budget.
+    pub fn plan(&self, spec: &GpuSpec) -> LaunchConfig {
+        let budget = spec.shared_mem_per_sm;
+        let mut block_dim = 128;
+        let mut ipt = 4;
+        while ipt > 1 && Self::shared_mem_bytes(block_dim * ipt, self.joins) > budget {
+            ipt /= 2;
+        }
+        while block_dim > spec.warp_size
+            && Self::shared_mem_bytes(block_dim * ipt, self.joins) > budget
+        {
+            block_dim /= 2;
+        }
+        let tile = block_dim * ipt;
+        LaunchConfig::for_items(self.items, block_dim, ipt)
+            .with_shared_mem(Self::shared_mem_bytes(tile, self.joins))
+    }
+
+    /// Launches the fused kernel once: plans the geometry against `gpu`'s
+    /// spec and invokes `body` per thread block. The whole query is this one
+    /// launch — the returned report's `launches` is 1 by construction.
+    pub fn launch<F>(&self, gpu: &mut Gpu, mut body: F) -> KernelReport
+    where
+        F: FnMut(&mut BlockCtx<'_>),
+    {
+        let cfg = self.plan(gpu.spec());
+        gpu.launch(&self.name, cfg, |ctx| body(ctx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crystal_hardware::nvidia_v100;
+
+    #[test]
+    fn footprint_formula_grows_as_specified() {
+        for joins in 0..=4 {
+            for tile in [128, 256, 512, 1024] {
+                assert_eq!(
+                    FusedStarKernel::shared_mem_bytes(tile, joins),
+                    tile * 4 * (3 + joins) + tile,
+                );
+            }
+            // Linear in the tile: doubling the tile doubles the footprint.
+            assert_eq!(
+                FusedStarKernel::shared_mem_bytes(1024, joins),
+                2 * FusedStarKernel::shared_mem_bytes(512, joins),
+            );
+        }
+        // Each extra join costs exactly one 4-byte slot per tile item.
+        assert_eq!(
+            FusedStarKernel::shared_mem_bytes(512, 3) - FusedStarKernel::shared_mem_bytes(512, 2),
+            512 * 4,
+        );
+    }
+
+    #[test]
+    fn v100_keeps_the_paper_tile() {
+        let spec = nvidia_v100();
+        let k = FusedStarKernel::new("fused_q21", 1 << 20, 4);
+        let cfg = k.plan(&spec);
+        assert_eq!(cfg.block_dim, 128);
+        assert_eq!(cfg.items_per_thread, 4);
+        assert_eq!(cfg.tile(), 512);
+        assert_eq!(
+            cfg.shared_mem_bytes,
+            FusedStarKernel::shared_mem_bytes(512, 4)
+        );
+        // The charged footprint must leave the block resident.
+        assert!(spec.resident_blocks_per_sm(cfg.block_dim, cfg.shared_mem_bytes) >= 1);
+    }
+
+    #[test]
+    fn over_budget_tile_degrades_instead_of_panicking() {
+        let mut spec = nvidia_v100();
+        // 512-item tile with 4 joins charges 14,848 bytes; leave room for
+        // only a fraction of that.
+        spec.shared_mem_per_sm = 4 * 1024;
+        let k = FusedStarKernel::new("fused_tiny_smem", 1 << 16, 4);
+        let cfg = k.plan(&spec);
+        assert!(cfg.tile() < 512, "tile must shrink under a tight budget");
+        assert!(cfg.shared_mem_bytes <= spec.shared_mem_per_sm);
+        assert!(spec.resident_blocks_per_sm(cfg.block_dim, cfg.shared_mem_bytes) >= 1);
+        // The grid still covers every item with the degraded tile.
+        assert_eq!(cfg.grid_dim, (1usize << 16).div_ceil(cfg.tile()));
+    }
+
+    #[test]
+    fn degradation_floors_at_one_warp() {
+        let mut spec = nvidia_v100();
+        spec.shared_mem_per_sm = 16; // absurd: nothing fits
+        let k = FusedStarKernel::new("fused_floor", 4096, 4);
+        let cfg = k.plan(&spec); // must not panic or loop forever
+        assert_eq!(cfg.block_dim, spec.warp_size);
+        assert_eq!(cfg.items_per_thread, 1);
+    }
+
+    #[test]
+    fn launch_is_exactly_one_kernel() {
+        let mut gpu = Gpu::new(nvidia_v100());
+        let k = FusedStarKernel::new("fused_one", 1000, 2);
+        let before = gpu.exec_stats();
+        let r = k.launch(&mut gpu, |ctx| {
+            let (_, len) = ctx.tile_bounds(1000);
+            ctx.global_read_coalesced(len * 4);
+        });
+        assert_eq!(r.name, "fused_one");
+        assert_eq!(r.launches, 1);
+        assert_eq!(gpu.exec_stats().since(&before).launches, 1);
+        assert_eq!(r.stats.global_read_bytes, 4000);
+    }
+}

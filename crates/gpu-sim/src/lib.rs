@@ -27,12 +27,14 @@
 
 pub mod cache;
 pub mod exec;
+pub mod fused;
 pub mod mem;
 pub mod pcie;
 pub mod stats;
 pub mod timing;
 
 pub use exec::{Gpu, LaunchConfig};
+pub use fused::FusedStarKernel;
 pub use mem::DeviceBuffer;
-pub use stats::{KernelReport, KernelStats};
+pub use stats::{ExecStats, KernelReport, KernelStats};
 pub use timing::SimTime;

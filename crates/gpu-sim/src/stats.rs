@@ -79,6 +79,35 @@ impl KernelStats {
     }
 }
 
+/// Cumulative device-level execution counters, sampled before and after a
+/// query to attribute launches and HBM traffic to it.
+///
+/// [`Gpu::launch`](crate::exec::Gpu::launch) bumps the device's counters on
+/// every kernel; callers snapshot [`Gpu::exec_stats`](crate::exec::Gpu::exec_stats)
+/// around a region and diff with [`ExecStats::since`]. This is how the fused
+/// path proves "one launch per query" and how the fusion harness splits HBM
+/// reads/writes into before/after deltas without threading reports around.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Kernel launches executed.
+    pub launches: u64,
+    /// Bytes read across the HBM interface (streaming + gather misses).
+    pub hbm_read_bytes: u64,
+    /// Bytes written across the HBM interface (streaming + scatter misses).
+    pub hbm_write_bytes: u64,
+}
+
+impl ExecStats {
+    /// The delta accumulated since an earlier snapshot `before`.
+    pub fn since(&self, before: &ExecStats) -> ExecStats {
+        ExecStats {
+            launches: self.launches - before.launches,
+            hbm_read_bytes: self.hbm_read_bytes - before.hbm_read_bytes,
+            hbm_write_bytes: self.hbm_write_bytes - before.hbm_write_bytes,
+        }
+    }
+}
+
 /// A completed kernel launch: its name, launch geometry, raw counters and
 /// simulated time.
 #[derive(Debug, Clone)]
@@ -87,6 +116,10 @@ pub struct KernelReport {
     pub grid_dim: usize,
     pub block_dim: usize,
     pub items_per_thread: usize,
+    /// Kernel launches this report covers: 1 for a report straight out of
+    /// [`Gpu::launch`](crate::exec::Gpu::launch); more when reports are
+    /// merged across a multi-kernel operator.
+    pub launches: u64,
     pub stats: KernelStats,
     pub time: SimTime,
     /// Whether the kernel's work grows linearly with the fact-table row
@@ -143,6 +176,24 @@ mod tests {
         assert_eq!(s.hbm_read_bytes(), 128);
         assert_eq!(s.hbm_write_bytes(), 52);
         assert_eq!(s.hbm_bytes(), 180);
+    }
+
+    #[test]
+    fn exec_stats_since_diffs_every_counter() {
+        let before = ExecStats {
+            launches: 2,
+            hbm_read_bytes: 1000,
+            hbm_write_bytes: 100,
+        };
+        let after = ExecStats {
+            launches: 3,
+            hbm_read_bytes: 1600,
+            hbm_write_bytes: 140,
+        };
+        let d = after.since(&before);
+        assert_eq!(d.launches, 1);
+        assert_eq!(d.hbm_read_bytes, 600);
+        assert_eq!(d.hbm_write_bytes, 40);
     }
 
     #[test]

@@ -246,6 +246,60 @@ pub fn resident_coprocessor_bounds(
     (device, host)
 }
 
+/// Kernel launches one star query costs on each GPU path. The fused
+/// megakernel is a *single* launch: select, every join probe and the
+/// aggregate ride one tile-at-a-time kernel. The per-operator alternative
+/// pays roughly one launch per pipeline stage — a predicate pass, one per
+/// join, and the aggregate pass — i.e. `~2 + joins`.
+pub fn star_query_launches(joins: usize, fused: bool) -> u64 {
+    if fused {
+        1
+    } else {
+        2 + joins as u64
+    }
+}
+
+/// Fixed launch overhead of `launches` kernel dispatches:
+/// `launches * kernel_launch_us`.
+pub fn launch_overhead_secs(gpu: &GpuSpec, launches: u64) -> f64 {
+    launches as f64 * gpu.kernel_launch_us * 1e-6
+}
+
+/// The fused-kernel coprocessor bound: [`resident_coprocessor_bounds`]
+/// with the launch-overhead term of `star_query_launches(joins, fused)`
+/// folded into the device side. The transfer term is untouched — fusion
+/// saves launches and HBM round trips, never PCIe bytes — so the fused
+/// and unfused bounds differ by exactly `(1 + joins) * kernel_launch_us`,
+/// the drop from `~2 + joins` launches to one.
+///
+/// `fact_scale` keeps the bound faithful when it is evaluated on a
+/// *sampled proxy* fact table (the `SsbData::generate_scaled` convention):
+/// on a proxy every bandwidth term implicitly carries a `fact_scale`
+/// factor, so the fixed launch overhead must shrink by the same factor or
+/// it would dominate any small proxy and corrupt the full-scale
+/// comparison the bound stands for — the mirror image of
+/// `sim_secs_scaled`, which multiplies fact-linear terms back up. Pass
+/// `1.0` for full-size data.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_coprocessor_bounds(
+    packed_bytes: usize,
+    resident_bytes: usize,
+    packed_values: usize,
+    joins: usize,
+    fused: bool,
+    fact_scale: f64,
+    cpu: &CpuSpec,
+    gpu: &GpuSpec,
+    pcie: &PcieSpec,
+) -> (f64, f64) {
+    let (device, host) =
+        resident_coprocessor_bounds(packed_bytes, resident_bytes, packed_values, cpu, gpu, pcie);
+    (
+        device + fact_scale * launch_overhead_secs(gpu, star_query_launches(joins, fused)),
+        host,
+    )
+}
+
 /// Cost inputs of one fact-table shard for the per-shard placement
 /// bound: its referenced bytes under the current encodings, the fraction
 /// of those already device-resident, and its packed values (host unpack
@@ -364,6 +418,43 @@ mod tests {
             (40.0..62.0).contains(&c_ms),
             "cpu model {c_ms} ms vs paper 47"
         );
+    }
+
+    /// The fused-kernel bound: launch count drops from `~2 + joins` to 1,
+    /// the device term shrinks by exactly the saved launches, and the
+    /// host/transfer terms are untouched.
+    #[test]
+    fn fused_bound_saves_launches_but_not_transfer() {
+        let cpu = intel_i7_6900();
+        let gpu = nvidia_v100();
+        let pcie = pcie_gen3();
+        let bytes = 16 * 120_000_000usize;
+        let joins = 3;
+
+        assert_eq!(star_query_launches(joins, true), 1);
+        assert_eq!(star_query_launches(joins, false), 5);
+        assert_eq!(star_query_launches(0, false), 2);
+
+        let (base_dev, base_host) = resident_coprocessor_bounds(bytes, bytes, 0, &cpu, &gpu, &pcie);
+        let (fused_dev, fused_host) =
+            fused_coprocessor_bounds(bytes, bytes, 0, joins, true, 1.0, &cpu, &gpu, &pcie);
+        let (unfused_dev, unfused_host) =
+            fused_coprocessor_bounds(bytes, bytes, 0, joins, false, 1.0, &cpu, &gpu, &pcie);
+
+        // Host bound (and therefore the transfer term) is unchanged.
+        assert_eq!(fused_host, base_host);
+        assert_eq!(unfused_host, base_host);
+        // Device side: one launch fused, 2 + joins unfused, exactly.
+        let us = gpu.kernel_launch_us * 1e-6;
+        assert!((fused_dev - (base_dev + us)).abs() < 1e-15);
+        assert!((unfused_dev - (base_dev + 5.0 * us)).abs() < 1e-15);
+        assert!(fused_dev < unfused_dev);
+
+        // On a sampled proxy the fixed term scales with the proxy, keeping
+        // the device-vs-host comparison identical to full scale.
+        let (proxy_dev, _) =
+            fused_coprocessor_bounds(bytes, bytes, 0, joins, true, 0.002, &cpu, &gpu, &pcie);
+        assert!((proxy_dev - (base_dev + 0.002 * us)).abs() < 1e-15);
     }
 
     /// The measured CPU runtime was 125 ms; the empirical estimate must

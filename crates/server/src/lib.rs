@@ -52,7 +52,7 @@
 //! asserts against [`serve_serial`].
 
 use crystal_cpu::exec::MORSEL_SIZE;
-use crystal_gpu_sim::Gpu;
+use crystal_gpu_sim::{ExecStats, Gpu};
 use crystal_hardware::{CpuSpec, PcieSpec};
 use crystal_runtime::{DeviceSession, SessionStats};
 use crystal_ssb::encoding::FactEncodings;
@@ -147,6 +147,12 @@ pub struct ServeReport {
     /// Device session counters at the end of the run (summed across the
     /// per-tenant sessions for [`serve_serial`]).
     pub stats: SessionStats,
+    /// Device-level execution counters attributed to this run: kernel
+    /// launches (builds + fused probe steps) and HBM traffic, diffed from
+    /// the device's cumulative [`ExecStats`] around the serve. The
+    /// launch-count bands read this — a fused device query costs one
+    /// probe launch per morsel grant plus its cold build kernels.
+    pub exec: ExecStats,
 }
 
 impl ServeReport {
@@ -224,6 +230,7 @@ pub fn serve<'a>(
     tenants: &'a [Vec<StarQuery>],
     cfg: &ServerConfig,
 ) -> ServeReport {
+    let exec_before = gpu.exec_stats();
     let mut sess = match cfg.device_budget {
         Some(b) => DeviceSession::with_budget(gpu, b),
         None => DeviceSession::new(gpu),
@@ -408,6 +415,7 @@ pub fn serve<'a>(
         }
     }
 
+    let exec = sess.gpu().exec_stats().since(&exec_before);
     let stats = sess.stats().clone();
     ServeReport {
         completed,
@@ -415,6 +423,7 @@ pub fn serve<'a>(
         host_busy_secs: host_busy,
         device_busy_secs: dev_busy,
         stats,
+        exec,
     }
 }
 
@@ -452,6 +461,7 @@ pub fn serve_sharded<'a>(
     tenants: &'a [Vec<StarQuery>],
     cfg: &ServerConfig,
 ) -> ServeReport {
+    let exec_before = gpu.exec_stats();
     let mut sess = match cfg.device_budget {
         Some(b) => DeviceSession::with_budget(gpu, b),
         None => DeviceSession::new(gpu),
@@ -654,6 +664,7 @@ pub fn serve_sharded<'a>(
         }
     }
 
+    let exec = sess.gpu().exec_stats().since(&exec_before);
     let stats = sess.stats().clone();
     ServeReport {
         completed,
@@ -661,6 +672,7 @@ pub fn serve_sharded<'a>(
         host_busy_secs: host_busy,
         device_busy_secs: dev_busy,
         stats,
+        exec,
     }
 }
 
@@ -677,6 +689,7 @@ pub fn serve_serial(
     tenants: &[Vec<StarQuery>],
     cfg: &ServerConfig,
 ) -> ServeReport {
+    let exec_before = gpu.exec_stats();
     let enc = FactEncodings::plain();
     let mut clock = 0.0f64;
     let (mut host_busy, mut dev_busy) = (0.0f64, 0.0f64);
@@ -725,12 +738,14 @@ pub fn serve_serial(
         accumulate(&mut stats, sess.stats());
     }
 
+    let exec = gpu.exec_stats().since(&exec_before);
     ServeReport {
         completed,
         makespan_secs: clock,
         host_busy_secs: host_busy,
         device_busy_secs: dev_busy,
         stats,
+        exec,
     }
 }
 
@@ -791,6 +806,35 @@ mod tests {
                 assert_eq!(*ser[i], expected, "tenant {t} query {i} (serial)");
             }
         }
+    }
+
+    /// The serve report's launch counters attribute device kernels to the
+    /// run: zero when nothing ran on the device, at least one fused probe
+    /// launch per device query when it did, and deterministic across
+    /// identical runs.
+    #[test]
+    fn serve_report_counts_device_launches() {
+        let d = data();
+        let tenants = streams(&d, 3, 4);
+        let cpu = intel_i7_6900();
+        let pcie = pcie_gen3();
+        let cfg = ServerConfig::default();
+        let mut gpu = Gpu::new(nvidia_v100());
+        let a = serve(&mut gpu, &cpu, &pcie, &d, &tenants, &cfg);
+        if a.device_queries() == 0 {
+            assert_eq!(a.exec, ExecStats::default(), "no device work, no launches");
+        } else {
+            assert!(a.exec.launches >= a.device_queries() as u64);
+            assert!(a.exec.hbm_read_bytes > 0);
+        }
+        // Counters diff from the device's cumulative ExecStats, so a
+        // second serve on the same (now warm) device attributes only its
+        // own launches — determinism carries over to the counters.
+        let b = serve(&mut gpu, &cpu, &pcie, &d, &tenants, &cfg);
+        assert!(
+            b.exec.launches <= a.exec.launches,
+            "warm run rebuilds nothing"
+        );
     }
 
     /// The scheduler is deterministic: two runs over the same streams

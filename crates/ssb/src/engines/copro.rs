@@ -22,7 +22,7 @@ use crystal_gpu_sim::pcie::{coprocessor_time, CoprocessorTime};
 use crystal_gpu_sim::Gpu;
 use crystal_hardware::{CpuSpec, GpuSpec, PcieSpec};
 use crystal_models::ssb::{
-    compressed_coprocessor_bounds, hybrid_shard_split, resident_coprocessor_bounds, ShardParams,
+    compressed_coprocessor_bounds, fused_coprocessor_bounds, hybrid_shard_split, ShardParams,
 };
 use crystal_runtime::{ColumnKey, DeviceSession, SessionOom};
 
@@ -224,8 +224,24 @@ pub fn choose_placement_resident(
     let cols = q.fact_columns();
     let packed_bytes = enc.columns_bytes(rows, &cols);
     let packed_values = enc.packed_values(rows, &cols);
-    let (coprocessor_secs, host_secs) =
-        resident_coprocessor_bounds(packed_bytes, resident_bytes, packed_values, cpu, gpu, pcie);
+    // The fused-kernel bound: the device side carries exactly one launch
+    // of overhead (the whole star query is one megakernel); the transfer
+    // term is the residency-aware Section 3.1 bound, unchanged by fusion.
+    // On a sampled proxy table the fixed launch term scales with the
+    // proxy fraction, mirroring `sim_secs_scaled` so the routing stays
+    // faithful to the full-scale comparison.
+    let fact_scale = rows as f64 / (6_000_000 * d.sf) as f64;
+    let (coprocessor_secs, host_secs) = fused_coprocessor_bounds(
+        packed_bytes,
+        resident_bytes,
+        packed_values,
+        q.joins.len(),
+        true,
+        fact_scale.min(1.0),
+        cpu,
+        gpu,
+        pcie,
+    );
     choice_from(coprocessor_secs, host_secs)
 }
 
@@ -618,6 +634,29 @@ mod tests {
         );
         assert!(copro.shipped_bytes < q.fact_columns().len() * 4 * d.lineorder.rows());
         assert_eq!(run.result, reference::execute(&d, &q));
+    }
+
+    /// Admission OOM on the fused single-table job: the router picks the
+    /// coprocessor (a link faster than host DRAM), the device cannot hold
+    /// even one fact column, and the placed run silently completes on the
+    /// host — byte-identical to the vectorized CPU result.
+    #[test]
+    fn admit_oom_falls_back_to_the_host_byte_identically() {
+        let d = SsbData::generate_scaled(1, 0.002, 7);
+        let cpu = intel_i7_6900();
+        let mut link = pcie_gen3();
+        link.bandwidth = cpu.read_bw * 4.0;
+        let q = query(&d, QueryId::new(2, 1));
+        let expected = exec::execute(&d, &q, 4, PipelineMode::Vectorized).0;
+
+        let mut spec = nvidia_v100();
+        spec.mem_capacity = 8 * 1024; // not even one fact column fits
+        let mut gpu = Gpu::new(spec);
+        let mut sess = DeviceSession::new(&mut gpu);
+        let run = execute_placed_session(&mut sess, &link, &cpu, &d, &q, 4);
+        assert_eq!(run.choice.placement, Placement::Coprocessor);
+        assert!(run.copro.is_none(), "device admission must have failed");
+        assert_eq!(run.result, expected, "host fallback diverged");
     }
 
     /// Residency flips the routing over PCIe Gen3 on *plain* data: once a

@@ -35,7 +35,7 @@ use std::rc::Rc;
 
 use crystal_core::primitives::{block_pred, block_pred_and};
 use crystal_core::tile::Tile;
-use crystal_gpu_sim::exec::LaunchConfig;
+use crystal_gpu_sim::fused::FusedStarKernel;
 use crystal_gpu_sim::mem::DeviceBuffer;
 use crystal_gpu_sim::stats::KernelReport;
 use crystal_gpu_sim::Gpu;
@@ -81,14 +81,6 @@ pub fn shard_column_key(d: &SsbData, shard: usize, col: FactCol, fact: &EncodedF
         col: ((shard as u32 + 1) << 4) | col.index() as u32,
         encoding: fact.encoded(col).encoding(),
     }
-}
-
-/// Shared memory one probe-kernel block actually stages: the first-load /
-/// aggregate-input i32 tiles (`tile_col`, `agg_in1`, `agg_in2`), one i32
-/// group-code tile per join, and the 1-byte survivor bitmap. Charged to
-/// the launch so the occupancy model sees the real per-block footprint.
-fn probe_shared_mem(tile: usize, joins: usize) -> usize {
-    tile * 4 * (3 + joins) + tile
 }
 
 /// Outcome of a GPU query execution.
@@ -374,9 +366,15 @@ impl<'a> DeviceQueryJob<'a> {
         let cols = q.fact_columns();
         let col_of = |c: FactCol| -> usize { cols.iter().position(|&x| x == c).unwrap() };
 
-        let cfg = LaunchConfig::default_for_items(batch);
+        // The whole select→probe×N→aggregate pipeline is ONE fused launch:
+        // the kernel descriptor owns the tile geometry and charges the
+        // staged shared memory (first-load / aggregate-input i32 tiles, one
+        // i32 group-code tile per join, the 1-byte survivor bitmap) so the
+        // occupancy model sees the real per-block footprint — and degrades
+        // the tile when a device's budget cannot hold it.
+        let fused = FusedStarKernel::new(format!("ssb_probe_{}", q.name), batch, q.joins.len());
+        let cfg = fused.plan(sess.spec());
         let tile_cap = cfg.tile();
-        let cfg = cfg.with_shared_mem(probe_shared_mem(tile_cap, q.joins.len()));
         let mut tile_col: Tile<i32> = Tile::new(tile_cap);
         let mut bitmap: Tile<bool> = Tile::new(tile_cap);
         let mut code_tiles: Vec<Tile<i32>> = q.joins.iter().map(|_| Tile::new(tile_cap)).collect();
@@ -395,8 +393,7 @@ impl<'a> DeviceQueryJob<'a> {
         let hits = &mut self.hits;
         let result_rows = &mut self.result_rows;
 
-        let name = format!("ssb_probe_{}", q.name);
-        let report = sess.gpu().launch(&name, cfg, |ctx| {
+        let report = fused.launch(sess.gpu(), |ctx| {
             let (tile_start, len) = ctx.tile_bounds(batch);
             if len == 0 {
                 return;
@@ -404,15 +401,41 @@ impl<'a> DeviceQueryJob<'a> {
             let start = base + tile_start;
 
             // Fact predicates: first column with BlockLoad + BlockPred,
-            // the rest selectively with AndPred (Figure 7(b)).
+            // the rest selectively with AndPred (Figure 7(b)). A predicate
+            // column that doubles as an aggregate input is staged straight
+            // into its aggregate tile: fusion keeps it in shared memory, so
+            // the aggregate stage never touches HBM for it again (the
+            // survivor bitmap only shrinks, so the staged lanes stay valid).
+            let agg_cols = q.agg.columns();
+            let mut agg_staged = [false; 2];
             if let Some((first, rest)) = q.fact_preds.split_first() {
-                device_cols[col_of(first.col)].load_full(ctx, start, len, &mut tile_col);
-                let p = *first;
-                block_pred(ctx, &tile_col, move |v| p.matches(v), &mut bitmap);
+                {
+                    let dest = if first.col == agg_cols[0] {
+                        agg_staged[0] = true;
+                        &mut agg_in1
+                    } else if agg_cols.len() > 1 && first.col == agg_cols[1] {
+                        agg_staged[1] = true;
+                        &mut agg_in2
+                    } else {
+                        &mut tile_col
+                    };
+                    device_cols[col_of(first.col)].load_full(ctx, start, len, dest);
+                    let p = *first;
+                    block_pred(ctx, dest, move |v| p.matches(v), &mut bitmap);
+                }
                 for pred in rest {
-                    device_cols[col_of(pred.col)].load_sel(ctx, start, &bitmap, &mut tile_col);
+                    let dest = if pred.col == agg_cols[0] {
+                        agg_staged[0] = true;
+                        &mut agg_in1
+                    } else if agg_cols.len() > 1 && pred.col == agg_cols[1] {
+                        agg_staged[1] = true;
+                        &mut agg_in2
+                    } else {
+                        &mut tile_col
+                    };
+                    device_cols[col_of(pred.col)].load_sel(ctx, start, &bitmap, dest);
                     let p = *pred;
-                    block_pred_and(ctx, &tile_col, move |v| p.matches(v), &mut bitmap);
+                    block_pred_and(ctx, dest, move |v| p.matches(v), &mut bitmap);
                 }
             } else {
                 bitmap.set_len(len);
@@ -450,10 +473,12 @@ impl<'a> DeviceQueryJob<'a> {
                 ctx.compute(alive);
             }
 
-            // Aggregate inputs, selectively loaded.
-            let agg_cols = q.agg.columns();
-            device_cols[col_of(agg_cols[0])].load_sel(ctx, start, &bitmap, &mut agg_in1);
-            if agg_cols.len() > 1 {
+            // Aggregate inputs, selectively loaded — unless the predicate
+            // stage already staged the column into its aggregate tile.
+            if !agg_staged[0] {
+                device_cols[col_of(agg_cols[0])].load_sel(ctx, start, &bitmap, &mut agg_in1);
+            }
+            if agg_cols.len() > 1 && !agg_staged[1] {
                 device_cols[col_of(agg_cols[1])].load_sel(ctx, start, &bitmap, &mut agg_in2);
             }
 
@@ -1109,6 +1134,49 @@ mod tests {
             "half the working set must force eviction: {:?}",
             sess.stats()
         );
+    }
+
+    /// The occupancy-under-accounting fix, pinned against the fused path:
+    /// a device whose shared-memory budget cannot hold the paper's
+    /// 512-item tile degrades to a smaller tile — the charged footprint
+    /// stays within budget, at least one block stays resident, and the
+    /// degraded run never panics and stays byte-identical.
+    #[test]
+    fn tight_shared_memory_degrades_the_tile_and_still_matches() {
+        let d = data();
+        let mut spec = nvidia_v100();
+        // A 512-item tile charges 6,656 B with no joins and 14,848 B with
+        // four; neither fits a 4 KB budget.
+        spec.shared_mem_per_sm = 4 * 1024;
+        let mut gpu = Gpu::new(spec.clone());
+        for q in all_queries(&d) {
+            let expected = reference::execute(&d, &q);
+            let run = execute(&mut gpu, &d, &q).unwrap();
+            assert_eq!(run.result, expected, "{} degraded-tile run", q.name);
+            let probe = run.reports.last().unwrap();
+            let tile = probe.block_dim * probe.items_per_thread;
+            assert!(tile < 512, "{}: tile must shrink under 4 KB", q.name);
+            let charged = FusedStarKernel::shared_mem_bytes(tile, q.joins.len());
+            assert!(charged <= spec.shared_mem_per_sm, "{} over budget", q.name);
+            assert!(spec.resident_blocks_per_sm(probe.block_dim, charged) >= 1);
+        }
+    }
+
+    /// Abandoning a half-stepped fused job releases everything it held:
+    /// an immediate rerun of the same query in the same session is
+    /// byte-identical.
+    #[test]
+    fn abandoned_fused_job_reruns_identically() {
+        let d = data();
+        let q = query(&d, QueryId::new(3, 2));
+        let expected = reference::execute(&d, &q);
+        let mut gpu = Gpu::new(nvidia_v100());
+        let mut sess = DeviceSession::new(&mut gpu);
+        let mut job = DeviceQueryJob::admit(&mut sess, &d, None, &q).unwrap();
+        assert!(!job.step(&mut sess, 2048), "2048 rows leave work behind");
+        job.abandon(&mut sess);
+        let run = execute_session(&mut sess, &d, &q).unwrap();
+        assert_eq!(run.result, expected, "post-abandon rerun diverged");
     }
 
     /// Mid-query shard admission OOM: another tenant pins the retiring

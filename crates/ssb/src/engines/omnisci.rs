@@ -1,8 +1,18 @@
-//! Omnisci-style GPU engine: thread-per-row, operator-at-a-time kernels.
+//! Omnisci-style GPU engine, rewired onto the fused tile-at-a-time path.
+//!
+//! Since the fusion PR the *default* entry points ([`execute`] /
+//! [`execute_session`]) delegate to the fused
+//! [`crate::engines::gpu`] megakernel — one launch per query, no
+//! materialized selection vector — because that is what any engine would
+//! run once it adopts the tile-based model. The historical thread-per-row
+//! operator-at-a-time simulation survives verbatim as
+//! [`execute_unfused`] / [`execute_unfused_session`]: it is the
+//! differential reference the fusion harness and Figure 16 measure the
+//! fused path against.
 //!
 //! "Omnisci treats each GPU thread as an independent unit. As a result, it
 //! does not realize benefits of blocked loading and better GPU utilization
-//! got from using the tile-based model" (Section 5.2). This engine
+//! got from using the tile-based model" (Section 5.2). The unfused path
 //! reproduces that style on the simulator:
 //!
 //! * one kernel **per operator** (predicate scans, one per join, a final
@@ -77,16 +87,42 @@ fn thread_per_row_cfg(n: usize) -> LaunchConfig {
     }
 }
 
-/// Executes one query operator-at-a-time on the simulated GPU (transient
-/// session — the old upload/execute/free lifecycle).
+/// Executes one query on the **fused** tile-at-a-time path (transient
+/// session). The per-operator simulation this engine is named for lives
+/// on as [`execute_unfused`].
 pub fn execute(gpu: &mut Gpu, d: &SsbData, q: &StarQuery) -> OmnisciRun {
     let mut sess = DeviceSession::new(gpu);
     execute_session(&mut sess, d, q)
 }
 
+/// [`execute`] through a (possibly warm) session: delegates to the fused
+/// [`crate::engines::gpu::execute_session`] megakernel, so results and
+/// kernel reports are those of the single fused launch.
+pub fn execute_session(sess: &mut DeviceSession<'_>, d: &SsbData, q: &StarQuery) -> OmnisciRun {
+    let run = crate::engines::gpu::execute_session(sess, d, q)
+        .expect("the fused working set admits on a dedicated device");
+    OmnisciRun {
+        result: run.result,
+        reports: run.reports,
+    }
+}
+
+/// Executes one query operator-at-a-time on the simulated GPU (transient
+/// session — the old upload/execute/free lifecycle). This is the
+/// per-operator differential reference the fused path is measured
+/// against.
+pub fn execute_unfused(gpu: &mut Gpu, d: &SsbData, q: &StarQuery) -> OmnisciRun {
+    let mut sess = DeviceSession::new(gpu);
+    execute_unfused_session(&mut sess, d, q)
+}
+
 /// Executes one query operator-at-a-time through a (possibly warm)
 /// session.
-pub fn execute_session(sess: &mut DeviceSession<'_>, d: &SsbData, q: &StarQuery) -> OmnisciRun {
+pub fn execute_unfused_session(
+    sess: &mut DeviceSession<'_>,
+    d: &SsbData,
+    q: &StarQuery,
+) -> OmnisciRun {
     let n = d.lineorder.rows();
     let mut reports = Vec::new();
 
@@ -247,10 +283,28 @@ mod tests {
         let mut gpu = Gpu::new(nvidia_v100());
         for q in all_queries(&d) {
             let expected = reference::execute(&d, &q);
-            let run = execute(&mut gpu, &d, &q);
-            assert_eq!(run.result, expected, "{} diverged", q.name);
+            let run = execute_unfused(&mut gpu, &d, &q);
+            assert_eq!(run.result, expected, "{} unfused diverged", q.name);
+            let fused = execute(&mut gpu, &d, &q);
+            assert_eq!(fused.result, expected, "{} fused diverged", q.name);
         }
         assert_eq!(gpu.mem_used(), 0, "transient sessions must free");
+    }
+
+    /// The default entry point now rides the fused megakernel: one launch
+    /// per query on a warm session, byte-identical to the Crystal engine.
+    #[test]
+    fn default_path_is_the_fused_megakernel() {
+        let d = data();
+        let q = query(&d, QueryId::new(2, 1));
+        let mut gpu = Gpu::new(nvidia_v100());
+        let mut sess = DeviceSession::new(&mut gpu);
+        let crystal = crystal_gpu::execute_session(&mut sess, &d, &q).unwrap();
+        let warm = execute_session(&mut sess, &d, &q);
+        assert_eq!(warm.result, crystal.result);
+        assert_eq!(warm.reports.len(), 1, "warm fused run is one launch");
+        assert_eq!(warm.reports[0].launches, 1);
+        assert!(warm.reports[0].name.starts_with("ssb_probe_"));
     }
 
     /// Figure 16's mechanism: the thread-per-row operator-at-a-time style
@@ -262,7 +316,7 @@ mod tests {
         let q = query(&d, QueryId::new(2, 1));
         let crystal = crystal_gpu::execute(&mut gpu, &d, &q).unwrap();
         gpu.reset_l2();
-        let omnisci = execute(&mut gpu, &d, &q);
+        let omnisci = execute_unfused(&mut gpu, &d, &q);
         let crystal_probe: f64 = crystal.reports.last().unwrap().time.total_secs();
         let omnisci_total = omnisci.sim_secs();
         assert!(
@@ -283,7 +337,7 @@ mod tests {
         let crystal = crystal_gpu::execute_session(&mut sess, &d, &q).unwrap();
         assert_eq!(crystal.result, expected);
         let before = sess.stats().clone();
-        let omnisci = execute_session(&mut sess, &d, &q);
+        let omnisci = execute_unfused_session(&mut sess, &d, &q);
         assert_eq!(omnisci.result, expected);
         assert_eq!(
             sess.stats().uploaded_since(&before),

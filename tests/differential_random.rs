@@ -290,6 +290,98 @@ fn pinned_sharded_replay_matches_the_oracle_under_eviction() {
     );
 }
 
+/// Fusion differential under the pinned seed: every random star query
+/// runs BOTH simulated-GPU paths — the fused tile-at-a-time megakernel
+/// and the per-operator thread-per-row reference
+/// (`omnisci::execute_unfused_session`) — through one warm session, and
+/// the results must be byte-identical to each other and to the row-wise
+/// oracle. Packed encodings and sharded execution ride the fused path on
+/// a stride, and a guaranteed-empty query closes the edge case where
+/// scalar/grouped aggregates diverge most easily.
+#[test]
+fn fused_and_unfused_gpu_paths_agree_on_every_random_query() {
+    use crystal::runtime::DeviceSession;
+    use crystal::ssb::encoding::FactEncodings;
+    use crystal::ssb::engines::{gpu as gpu_engine, omnisci};
+    use crystal::ssb::plan::{AggExpr, FactCol, FactPred, StarQuery};
+    use crystal::ssb::{PartitionedFact, QueryResult};
+
+    let seed = base_seed();
+    let d = SsbData::generate_scaled(1, 0.001, seed); // 6k fact rows
+    let pf = PartitionedFact::partition(&d, 4, &FactEncodings::plain());
+    let mut gpu = Gpu::new(nvidia_v100());
+    let mut sess = DeviceSession::new(&mut gpu);
+
+    let mut empty = 0usize;
+    let mut packed_runs = 0usize;
+    let mut sharded_runs = 0usize;
+    for i in 0..32u64 {
+        let qseed = seed.wrapping_add(i);
+        let q = random_star_query(&d, qseed);
+        let expected = reference::execute(&d, &q);
+        empty += usize::from(expected.checksum() == 0);
+
+        // Fused megakernel: the whole pipeline in one launch per step.
+        let fused = gpu_engine::execute_session(&mut sess, &d, &q).unwrap();
+        assert_eq!(fused.result, expected, "seed {qseed}: fused GPU diverged");
+        let probe = fused.reports.last().unwrap();
+        assert_eq!(probe.launches, 1, "seed {qseed}: probe must be one launch");
+
+        // Per-operator reference path, same session residency.
+        let unfused = omnisci::execute_unfused_session(&mut sess, &d, &q);
+        assert_eq!(
+            unfused.result, expected,
+            "seed {qseed}: unfused GPU diverged"
+        );
+        assert_eq!(
+            unfused.result, fused.result,
+            "seed {qseed}: the two GPU paths disagree"
+        );
+
+        if i % 4 == 0 {
+            // The same query over a randomly encoded fact table: the
+            // fused kernel unpacks tiles in registers, results unchanged.
+            let enc = random_encodings(&d, qseed ^ ENCODING_SALT);
+            packed_runs += usize::from(enc.any_packed());
+            let fact = EncodedFact::encode(&d, &enc);
+            let packed = gpu_engine::execute_encoded_session(&mut sess, &d, &fact, &q).unwrap();
+            assert_eq!(
+                packed.result, expected,
+                "seed {qseed}: packed fused GPU diverged"
+            );
+
+            // Shard-at-a-time fused execution with zone-map pruning.
+            sharded_runs += 1;
+            let sharded = gpu_engine::execute_partitioned_session(&mut sess, &d, &pf, &q)
+                .expect("single-shard working sets fit a V100 budget");
+            assert_eq!(
+                sharded.result, expected,
+                "seed {qseed}: sharded fused GPU diverged"
+            );
+        }
+    }
+    assert!(packed_runs >= 4, "only {packed_runs} packed-table runs");
+    assert!(sharded_runs >= 8, "only {sharded_runs} sharded runs");
+
+    // Guaranteed-empty query: lo_discount is 0..=10 by construction, so
+    // discount >= 90 selects nothing on either path.
+    let q = StarQuery {
+        name: "empty.fused",
+        fact_preds: vec![FactPred::between(FactCol::Discount, 90, 99)],
+        joins: vec![],
+        agg: AggExpr::SumDiscountedPrice,
+    };
+    let fused = gpu_engine::execute_session(&mut sess, &d, &q).unwrap();
+    let unfused = omnisci::execute_unfused_session(&mut sess, &d, &q);
+    assert_eq!(fused.result, QueryResult::Scalar(0));
+    assert_eq!(unfused.result, QueryResult::Scalar(0));
+    let _ = empty; // random empties are welcome but not required
+
+    // The warm session served both paths from one residency pool: the
+    // unfused pass re-reads the same cached columns and memoized tables.
+    assert!(sess.stats().col_hits > 0, "paths must share residency");
+}
+
 /// The two pipeline modes and adversarial morsel sizes agree on random
 /// queries, not just the canned 13 — scheduling must be unobservable.
 #[test]

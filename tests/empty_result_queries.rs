@@ -48,7 +48,7 @@ fn assert_all_engines(d: &SsbData, q: &StarQuery, expected: &QueryResult) {
     assert_eq!(&run.result, expected, "{}: Crystal GPU engine", q.name);
 
     device.reset_l2();
-    let omni = omnisci::execute(&mut device, d, q);
+    let omni = omnisci::execute_unfused(&mut device, d, q);
     assert_eq!(
         &omni.result, expected,
         "{}: thread-per-row GPU engine",
