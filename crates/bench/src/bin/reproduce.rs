@@ -38,6 +38,12 @@
 //!               session, byte-identity asserted against the oracle
 //!               (exits non-zero if a band is missed; --smoke shrinks
 //!               the proxy table for CI)
+//!   calibration closed-loop calibrated placement vs the static cost
+//!               model on the true and a deliberately skewed hardware
+//!               profile: calibrated must never lose to static and must
+//!               recover the pinned fraction of the static-vs-oracle
+//!               gap, byte-identity asserted (exits non-zero if a band
+//!               is missed; --smoke shrinks the sample for CI)
 //!   sharded     beyond-memory sharded SSB: zone-map partition pruning
 //!               fractions per query plus an eviction-heavy device
 //!               replay under half the sharded working set, byte-
@@ -120,6 +126,11 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            "calibration" => {
+                if !crystal_bench::calibration::calibration(&cfg, smoke) {
+                    std::process::exit(1);
+                }
+            }
             "whatif" => tables::whatif(),
             "scorecard" => {
                 if !crystal_bench::scorecard::scorecard(&cfg) {
@@ -136,13 +147,14 @@ fn main() {
                 crystal_bench::contention::contention(&cfg, smoke);
                 crystal_bench::fusion::fusion(&cfg, smoke);
                 crystal_bench::sharded::sharded(&cfg, smoke);
+                crystal_bench::calibration::calibration(&cfg, smoke);
                 crystal_bench::kernels::microbench(&cfg, smoke);
                 tables::whatif();
                 crystal_bench::scorecard::scorecard(&cfg);
             }
             other => {
                 eprintln!("unknown experiment: {other}");
-                eprintln!("known: table2 fig3 fig9 tile-model fig10 fig12 fig13 fig14 sort fig16 case-study table3 ablations query-stream contention fusion sharded microbench whatif scorecard all (plus ablation-radix-join ablation-join-order ablation-multi-gpu ablation-agg ablation-compression ablation-hybrid ablation-skew)");
+                eprintln!("known: table2 fig3 fig9 tile-model fig10 fig12 fig13 fig14 sort fig16 case-study table3 ablations query-stream contention fusion sharded calibration microbench whatif scorecard all (plus ablation-radix-join ablation-join-order ablation-multi-gpu ablation-agg ablation-compression ablation-hybrid ablation-skew)");
                 std::process::exit(2);
             }
         }

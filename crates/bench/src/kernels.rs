@@ -26,7 +26,7 @@ use crystal_cpu::packed::{select_gt_fused, sum_fused};
 use crystal_storage::encoding::ColumnRead;
 use crystal_storage::{gen, PackedColumn};
 
-use crate::util::{ratio, Config, Report};
+use crate::util::{paired, ratio, Config, Report};
 
 /// One scalar-vs-chunked measurement.
 struct Row {
@@ -47,36 +47,6 @@ impl Row {
     fn mtps(&self, secs: f64) -> f64 {
         self.rows as f64 / secs / 1e6
     }
-}
-
-/// Times the scalar and chunked forms *interleaved*: one scalar run
-/// immediately followed by one chunked run per repetition, so a noisy
-/// neighbor or frequency excursion hits both sides of a pair about
-/// equally. Returns `(median scalar secs, median chunked secs, median of
-/// per-pair ratios)` — the ratio median is computed over pairs, not over
-/// the two medians, which is what makes it robust to bursty
-/// interference.
-pub(crate) fn paired(reps: usize, mut run: impl FnMut(bool)) -> (f64, f64, f64) {
-    let mut once = |chunked: bool| {
-        let t = std::time::Instant::now();
-        run(chunked);
-        t.elapsed().as_secs_f64()
-    };
-    let mut ss = Vec::with_capacity(reps);
-    let mut cs = Vec::with_capacity(reps);
-    let mut rs = Vec::with_capacity(reps);
-    for _ in 0..reps.max(1) {
-        let ts = once(false);
-        let tc = once(true);
-        ss.push(ts);
-        cs.push(tc);
-        rs.push(ts / tc);
-    }
-    let med = |v: &mut Vec<f64>| {
-        v.sort_by(|a, b| a.total_cmp(b));
-        v[v.len() / 2]
-    };
-    (med(&mut ss), med(&mut cs), med(&mut rs))
 }
 
 /// Legacy value-at-a-time `SELECT v WHERE v > x` (the pre-chunking fused

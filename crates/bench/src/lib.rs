@@ -15,6 +15,7 @@
 //!   materializing engines), not absolute paper numbers.
 
 pub mod ablation;
+pub mod calibration;
 pub mod contention;
 pub mod fusion;
 pub mod kernels;

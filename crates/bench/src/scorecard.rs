@@ -404,8 +404,8 @@ pub fn scorecard(cfg: &Config) -> bool {
         let mut sel = vec![0u32; n];
         // Paired interleaved timing (median of per-repetition ratios), so
         // bursty machine noise lands on both sides of each pair — see
-        // `kernels::paired`.
-        let (_, _, speedup) = crate::kernels::paired(cfg.reps.max(5), |chunked| {
+        // `util::paired`.
+        let (_, _, speedup) = crate::util::paired(cfg.reps.max(5), |chunked| {
             if chunked {
                 std::hint::black_box(sel_between_init(&view, 0, hi, 0, n, &mut sel));
             } else {

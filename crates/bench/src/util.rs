@@ -152,6 +152,39 @@ pub fn ratio(r: f64) -> String {
     format!("{r:.1}x")
 }
 
+/// Times two forms of a computation *interleaved*: one baseline run
+/// immediately followed by one candidate run per repetition, so a noisy
+/// neighbor or frequency excursion hits both sides of a pair about
+/// equally. `run(false)` is the baseline, `run(true)` the candidate.
+/// Returns `(median baseline secs, median candidate secs, median of
+/// per-pair ratios)` — the ratio median is computed over pairs, not over
+/// the two medians, which is what makes it robust to bursty
+/// interference. Used by `reproduce microbench` for scalar-vs-chunked
+/// kernels and by `reproduce calibration` for the wall-clock
+/// observation section.
+pub fn paired(reps: usize, mut run: impl FnMut(bool)) -> (f64, f64, f64) {
+    let mut once = |candidate: bool| {
+        let t = std::time::Instant::now();
+        run(candidate);
+        t.elapsed().as_secs_f64()
+    };
+    let mut bs = Vec::with_capacity(reps);
+    let mut cs = Vec::with_capacity(reps);
+    let mut rs = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let tb = once(false);
+        let tc = once(true);
+        bs.push(tb);
+        cs.push(tc);
+        rs.push(tb / tc);
+    }
+    let med = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    (med(&mut bs), med(&mut cs), med(&mut rs))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -153,6 +153,32 @@ pub fn pcie_gen3() -> PcieSpec {
     }
 }
 
+/// One machine's full spec triple — the CPU, the GPU, and the PCIe link
+/// between them. Bundles what a placement model needs to price both
+/// sides of a query, so a *believed* (spec-sheet) profile and the
+/// *actual* (possibly deviating) machine can be passed around as single
+/// values — the distinction the online calibration layer exists to
+/// close.
+#[derive(Debug, Clone)]
+pub struct HardwareProfile {
+    /// The host CPU.
+    pub cpu: CpuSpec,
+    /// The device GPU.
+    pub gpu: GpuSpec,
+    /// The host↔device interconnect.
+    pub pcie: PcieSpec,
+}
+
+/// The paper's Table-2 machine as one [`HardwareProfile`]:
+/// [`intel_i7_6900`] + [`nvidia_v100`] + [`pcie_gen3`].
+pub fn table2_profile() -> HardwareProfile {
+    HardwareProfile {
+        cpu: intel_i7_6900(),
+        gpu: nvidia_v100(),
+        pcie: pcie_gen3(),
+    }
+}
+
 /// Ratio of GPU to CPU read memory bandwidth — the paper's headline ~16.2x.
 pub fn bandwidth_ratio(cpu: &CpuSpec, gpu: &GpuSpec) -> f64 {
     gpu.read_bw / cpu.read_bw

@@ -19,12 +19,17 @@
 //!   the host's scalar-unpack compute bound, and the placement flip ratio
 //!   past which GPU coprocessing wins on packed data.
 //! * [`cost`] — Section 5.4: purchase/renting cost effectiveness (Table 3).
+//! * [`calibration`] — the online closed loop over the [`ssb`] placement
+//!   bounds: observed kernel/transfer/scan times fitted per
+//!   (operator, encoding, cardinality band) key and blended with the
+//!   analytic prior by sample count.
 //!
 //! Each function returns seconds. "Ideal" models assume perfect bandwidth
 //! saturation (the paper's dashed "Model" lines); "empirical" variants add
 //! the calibrated imperfections the paper measures but does not model
 //! (branch mispredictions, CPU memory stalls on irregular access).
 
+pub mod calibration;
 pub mod cost;
 pub mod join;
 pub mod project;

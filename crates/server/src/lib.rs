@@ -53,10 +53,11 @@
 
 use crystal_cpu::exec::MORSEL_SIZE;
 use crystal_gpu_sim::{ExecStats, Gpu};
-use crystal_hardware::{CpuSpec, PcieSpec};
+use crystal_hardware::{CpuSpec, HardwareProfile, PcieSpec};
+use crystal_models::calibration::{BoundsSource, CalibrationStore};
 use crystal_runtime::{DeviceSession, SessionStats};
 use crystal_ssb::encoding::FactEncodings;
-use crystal_ssb::engines::copro::{self, Placement};
+use crystal_ssb::engines::copro::{self, Placement, PlacementDecision};
 use crystal_ssb::engines::gpu::{DeviceQueryJob, DeviceShardedJob};
 use crystal_ssb::exec::{HostQueryJob, PartitionedHostJob, PipelineMode};
 use crystal_ssb::plan::StarQuery;
@@ -121,6 +122,13 @@ pub struct CompletedQuery {
     pub admitted_at: f64,
     /// Simulated time at completion (on the backend's clock).
     pub completed_at: f64,
+    /// The admission-time placement decision with its provenance (the
+    /// predicted seconds of each side, and whether measured history
+    /// contributed) — a misroute is debuggable from the report alone.
+    /// Note the decision records the *cost model's* side; idle-resource
+    /// steering or an OOM fallback can still run the query elsewhere
+    /// (compare against [`CompletedQuery::backend`]).
+    pub decision: PlacementDecision,
     pub result: QueryResult,
 }
 
@@ -188,6 +196,15 @@ impl ServeReport {
             .count()
     }
 
+    /// Queries whose admission decision drew on measured history (zero
+    /// for the static `serve` paths and for a cold calibration store).
+    pub fn blended_decisions(&self) -> usize {
+        self.completed
+            .iter()
+            .filter(|c| c.decision.source == BoundsSource::Blended)
+            .count()
+    }
+
     /// One tenant's results in stream order (for byte-identity checks).
     pub fn tenant_results(&self, tenant: usize) -> Vec<&QueryResult> {
         let mut rows: Vec<(usize, &QueryResult)> = self
@@ -215,7 +232,29 @@ struct InFlight<'a> {
     per_row_host_secs: f64,
     /// Device kernel seconds already charged to the device clock.
     charged_dev_secs: f64,
+    /// PCIe seconds charged for this job's admission uploads.
+    charged_transfer_secs: f64,
+    /// Bytes the admission actually uploaded.
+    uploaded_bytes: usize,
+    decision: PlacementDecision,
     job: Job<'a>,
+}
+
+/// The closed calibration loop a `*_calibrated` serve runs under: the
+/// shared [`CalibrationStore`] every completion records into (and every
+/// admission routes by), plus the spec-sheet [`HardwareProfile`] the
+/// analytic prior believes. The *actual* machine is whatever specs the
+/// serve call itself executes and charges on — when the two profiles
+/// agree the loop only learns simulator-vs-model slack; when they
+/// deviate (a link trained down, a clock over spec) the blended bounds
+/// steer routing back toward the measured truth.
+pub struct Calibration<'c> {
+    /// The store shared across queries (and across serve calls, if the
+    /// caller keeps it).
+    pub store: &'c mut CalibrationStore,
+    /// The hardware the static prior believes (e.g.
+    /// [`crystal_hardware::table2_profile`]).
+    pub model: HardwareProfile,
 }
 
 /// Serves `tenants` (one query stream per tenant) through one shared
@@ -229,6 +268,39 @@ pub fn serve<'a>(
     d: &'a SsbData,
     tenants: &'a [Vec<StarQuery>],
     cfg: &ServerConfig,
+) -> ServeReport {
+    serve_impl(gpu, cpu, pcie, d, tenants, cfg, None)
+}
+
+/// [`serve`] with the closed calibration loop: admission routes through
+/// `copro::choose_placement_calibrated_session` on the *model* profile
+/// (blended with whatever the store has learned), and every completion
+/// records its observed transfer/kernel/host seconds back into the
+/// store. Execution and the resource clocks still run on the `gpu` /
+/// `cpu` / `pcie` the serve is called with — the actual machine — so
+/// the loop converges toward measured reality. With a cold store and
+/// `cal.model` equal to the serve specs, routing is bit-identical to
+/// [`serve`].
+pub fn serve_calibrated<'a>(
+    gpu: &mut Gpu,
+    cpu: &CpuSpec,
+    pcie: &PcieSpec,
+    d: &'a SsbData,
+    tenants: &'a [Vec<StarQuery>],
+    cfg: &ServerConfig,
+    cal: &mut Calibration<'_>,
+) -> ServeReport {
+    serve_impl(gpu, cpu, pcie, d, tenants, cfg, Some(cal))
+}
+
+fn serve_impl<'a>(
+    gpu: &mut Gpu,
+    cpu: &CpuSpec,
+    pcie: &PcieSpec,
+    d: &'a SsbData,
+    tenants: &'a [Vec<StarQuery>],
+    cfg: &ServerConfig,
+    mut cal: Option<&mut Calibration<'_>>,
 ) -> ServeReport {
     let exec_before = gpu.exec_stats();
     let mut sess = match cfg.device_budget {
@@ -263,7 +335,25 @@ pub fn serve<'a>(
                 }
                 let idx = next_q[t];
                 let q = &tenants[t][idx];
-                let choice = copro::choose_placement_session(&sess, d, q, &enc, cpu, pcie);
+                // Routing: the static residency-aware bound on the serve
+                // specs, or — under calibration — the blended bound on
+                // the *model* profile. The host clock is always charged
+                // on the serve specs (the actual machine), so a skewed
+                // model profile can misroute but never mischarge.
+                let actual = copro::choose_placement_session(&sess, d, q, &enc, cpu, pcie);
+                let decision: PlacementDecision = match cal.as_ref() {
+                    None => actual.into(),
+                    Some(c) => copro::choose_placement_calibrated_session(
+                        c.store,
+                        &sess,
+                        d,
+                        q,
+                        &enc,
+                        &c.model.cpu,
+                        &c.model.gpu,
+                        &c.model.pcie,
+                    ),
+                };
                 let device_busy_now = inflight.iter().any(|j| j.backend == Backend::Device);
                 let host_busy_now = inflight.iter().any(|j| j.backend == Backend::Host);
                 // Idle-resource steering keeps both executors busy:
@@ -278,7 +368,7 @@ pub fn serve<'a>(
                 } else if cfg.offload_idle_device && !host_busy_now {
                     false
                 } else {
-                    choice.placement == Placement::Coprocessor
+                    decision.placement == Placement::Coprocessor
                 };
                 let mut placed = None;
                 if want_device {
@@ -287,7 +377,8 @@ pub fn serve<'a>(
                     // session's ledger; an OOM falls back to the host.
                     if let Ok(job) = DeviceQueryJob::admit(&mut sess, d, None, q) {
                         let uploaded = sess.stats().uploaded_since(&before);
-                        let setup = pcie.transfer_secs(uploaded) + job.sim_secs_so_far();
+                        let transfer = pcie.transfer_secs(uploaded);
+                        let setup = transfer + job.sim_secs_so_far();
                         dev_clock = dev_clock.max(now) + setup;
                         dev_busy += setup;
                         placed = Some(InFlight {
@@ -297,6 +388,9 @@ pub fn serve<'a>(
                             backend: Backend::Device,
                             per_row_host_secs: 0.0,
                             charged_dev_secs: job.sim_secs_so_far(),
+                            charged_transfer_secs: transfer,
+                            uploaded_bytes: uploaded,
+                            decision,
                             job: Job::Device(Box::new(job)),
                         });
                     }
@@ -308,8 +402,11 @@ pub fn serve<'a>(
                         index: idx,
                         admitted_at: now,
                         backend: Backend::Host,
-                        per_row_host_secs: choice.host_secs / n_rows as f64,
+                        per_row_host_secs: actual.host_secs / n_rows as f64,
                         charged_dev_secs: 0.0,
+                        charged_transfer_secs: 0.0,
+                        uploaded_bytes: 0,
+                        decision,
                         job: Job::Host(Box::new(HostQueryJob::new(d, q, PipelineMode::Vectorized))),
                     }
                 });
@@ -400,6 +497,27 @@ pub fn serve<'a>(
                 Backend::Device => dev_clock,
             };
             now = now.max(completed_at);
+            // Close the loop: feed the completed query's charged times
+            // back into the store as an observation against the model
+            // profile's predictions.
+            if let Some(c) = cal.as_mut() {
+                let q = &tenants[j.tenant][j.index];
+                let (kernel, host) = match j.backend {
+                    Backend::Device => (Some(j.charged_dev_secs), None),
+                    Backend::Host => (None, Some(j.per_row_host_secs * n_rows as f64)),
+                };
+                copro::record_query_observation(
+                    c.store,
+                    &c.model,
+                    d,
+                    q,
+                    &enc,
+                    j.uploaded_bytes,
+                    j.charged_transfer_secs,
+                    kernel,
+                    host,
+                );
+            }
             let result = match j.job {
                 Job::Host(h) => h.finish().0,
                 Job::Device(g) => g.finish(&mut sess).result,
@@ -410,6 +528,7 @@ pub fn serve<'a>(
                 backend: j.backend,
                 admitted_at: j.admitted_at,
                 completed_at,
+                decision: j.decision,
                 result,
             });
         }
@@ -441,7 +560,34 @@ struct ShardedInFlight<'a> {
     per_row_host_secs: f64,
     /// Device kernel seconds already charged to the device clock.
     charged_dev_secs: f64,
+    /// PCIe seconds charged for the first-shard admission uploads.
+    charged_transfer_secs: f64,
+    /// Bytes uploaded so far (first-shard admission; later shard
+    /// admissions add theirs when the job completes).
+    uploaded_bytes: usize,
+    decision: PlacementDecision,
     job: ShardedJob<'a>,
+}
+
+/// The whole-query placement summary of a sharded split: the two
+/// all-on-one-side totals, compared the same way the admission gate
+/// compares them.
+fn sharded_decision(
+    c: &copro::ShardedChoice,
+    source: BoundsSource,
+    samples: u64,
+) -> PlacementDecision {
+    PlacementDecision {
+        placement: if c.device_only_secs < c.host_only_secs {
+            Placement::Coprocessor
+        } else {
+            Placement::Host
+        },
+        device_secs: c.device_only_secs,
+        host_secs: c.host_only_secs,
+        source,
+        samples,
+    }
 }
 
 /// [`serve`] over a [`PartitionedFact`]: zone-map pruning drops dead
@@ -460,6 +606,39 @@ pub fn serve_sharded<'a>(
     pf: &'a PartitionedFact,
     tenants: &'a [Vec<StarQuery>],
     cfg: &ServerConfig,
+) -> ServeReport {
+    serve_sharded_impl(gpu, cpu, pcie, d, pf, tenants, cfg, None)
+}
+
+/// [`serve_sharded`] with the closed calibration loop of
+/// [`serve_calibrated`]: per-shard admission bounds blend the model
+/// profile's prior with shard-granular measured history, and every
+/// completion records an aggregated live-shard observation back into
+/// the store.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_sharded_calibrated<'a>(
+    gpu: &mut Gpu,
+    cpu: &CpuSpec,
+    pcie: &PcieSpec,
+    d: &'a SsbData,
+    pf: &'a PartitionedFact,
+    tenants: &'a [Vec<StarQuery>],
+    cfg: &ServerConfig,
+    cal: &mut Calibration<'_>,
+) -> ServeReport {
+    serve_sharded_impl(gpu, cpu, pcie, d, pf, tenants, cfg, Some(cal))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_sharded_impl<'a>(
+    gpu: &mut Gpu,
+    cpu: &CpuSpec,
+    pcie: &PcieSpec,
+    d: &'a SsbData,
+    pf: &'a PartitionedFact,
+    tenants: &'a [Vec<StarQuery>],
+    cfg: &ServerConfig,
+    mut cal: Option<&mut Calibration<'_>>,
 ) -> ServeReport {
     let exec_before = gpu.exec_stats();
     let mut sess = match cfg.device_budget {
@@ -498,7 +677,25 @@ pub fn serve_sharded<'a>(
                 }
                 let idx = next_q[t];
                 let q = &tenants[t][idx];
-                let choice = copro::choose_placement_sharded(&sess, d, pf, q, cpu, pcie);
+                // As in `serve_impl`: route on the (possibly blended)
+                // model-profile bounds, charge on the serve specs.
+                let actual = copro::choose_placement_sharded(&sess, d, pf, q, cpu, pcie);
+                let decision = match cal.as_ref() {
+                    None => sharded_decision(&actual, BoundsSource::Static, 0),
+                    Some(c) => {
+                        let cc = copro::choose_placement_calibrated_sharded(
+                            c.store,
+                            &sess,
+                            d,
+                            pf,
+                            q,
+                            &c.model.cpu,
+                            &c.model.gpu,
+                            &c.model.pcie,
+                        );
+                        sharded_decision(&cc.choice, cc.source, cc.samples)
+                    }
+                };
                 let device_busy_now = inflight.iter().any(|j| j.backend == Backend::Device);
                 let host_busy_now = inflight.iter().any(|j| j.backend == Backend::Host);
                 let want_device = if cfg.offload_idle_device && !device_busy_now {
@@ -506,14 +703,15 @@ pub fn serve_sharded<'a>(
                 } else if cfg.offload_idle_device && !host_busy_now {
                     false
                 } else {
-                    choice.device_only_secs < choice.host_only_secs
+                    decision.placement == Placement::Coprocessor
                 };
                 let mut placed = None;
                 if want_device {
                     let before = sess.stats().clone();
                     if let Ok(job) = DeviceShardedJob::admit(&mut sess, d, pf, q) {
                         let uploaded = sess.stats().uploaded_since(&before);
-                        let setup = pcie.transfer_secs(uploaded) + job.sim_secs_so_far();
+                        let transfer = pcie.transfer_secs(uploaded);
+                        let setup = transfer + job.sim_secs_so_far();
                         dev_clock = dev_clock.max(now) + setup;
                         dev_busy += setup;
                         placed = Some(ShardedInFlight {
@@ -523,6 +721,9 @@ pub fn serve_sharded<'a>(
                             backend: Backend::Device,
                             per_row_host_secs: 0.0,
                             charged_dev_secs: job.sim_secs_so_far(),
+                            charged_transfer_secs: transfer,
+                            uploaded_bytes: uploaded,
+                            decision,
                             job: ShardedJob::Device(Box::new(job)),
                         });
                     }
@@ -534,8 +735,11 @@ pub fn serve_sharded<'a>(
                         index: idx,
                         admitted_at: now,
                         backend: Backend::Host,
-                        per_row_host_secs: choice.host_only_secs / pf.live_rows(q).max(1) as f64,
+                        per_row_host_secs: actual.host_only_secs / pf.live_rows(q).max(1) as f64,
                         charged_dev_secs: 0.0,
+                        charged_transfer_secs: 0.0,
+                        uploaded_bytes: 0,
+                        decision,
                         job: ShardedJob::Host(Box::new(PartitionedHostJob::new(
                             d,
                             pf,
@@ -649,6 +853,26 @@ pub fn serve_sharded<'a>(
                 Backend::Device => dev_clock,
             };
             now = now.max(completed_at);
+            if let Some(c) = cal.as_mut() {
+                let q = &tenants[j.tenant][j.index];
+                let (kernel, host) = match j.backend {
+                    Backend::Device => (Some(j.charged_dev_secs), None),
+                    Backend::Host => (
+                        None,
+                        Some(j.per_row_host_secs * pf.live_rows(q).max(1) as f64),
+                    ),
+                };
+                copro::record_sharded_observation(
+                    c.store,
+                    &c.model,
+                    pf,
+                    q,
+                    j.uploaded_bytes,
+                    j.charged_transfer_secs,
+                    kernel,
+                    host,
+                );
+            }
             let result = match j.job {
                 ShardedJob::Host(h) => h.finish().0,
                 ShardedJob::Device(g) => g.finish(&mut sess).result,
@@ -659,6 +883,7 @@ pub fn serve_sharded<'a>(
                 backend: j.backend,
                 admitted_at: j.admitted_at,
                 completed_at,
+                decision: j.decision,
                 result,
             });
         }
@@ -732,6 +957,7 @@ pub fn serve_serial(
                 backend,
                 admitted_at,
                 completed_at: clock,
+                decision: choice.into(),
                 result,
             });
         }
@@ -764,7 +990,7 @@ fn accumulate(acc: &mut SessionStats, s: &SessionStats) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crystal_hardware::{intel_i7_6900, nvidia_v100, pcie_gen3};
+    use crystal_hardware::{intel_i7_6900, nvidia_v100, pcie_gen3, table2_profile};
     use crystal_ssb::arbitrary::random_star_query;
     use crystal_ssb::engines::reference;
 
@@ -964,5 +1190,124 @@ mod tests {
             "tenants never shared residency: {:?}",
             report.stats
         );
+    }
+
+    /// A cold calibration store is the static model bit-for-bit: the
+    /// calibrated server reproduces the uncalibrated run's routing,
+    /// clocks, and results exactly, and every surfaced decision still
+    /// reads `Static` with zero samples at admission.
+    #[test]
+    fn cold_calibrated_serve_matches_static_serve_exactly() {
+        let d = data();
+        let tenants = streams(&d, 3, 4);
+        let cpu = intel_i7_6900();
+        let pcie = pcie_gen3();
+        let cfg = ServerConfig::default();
+        let mut g1 = Gpu::new(nvidia_v100());
+        let plain = serve(&mut g1, &cpu, &pcie, &d, &tenants, &cfg);
+        let mut store = CalibrationStore::default();
+        let mut cal = Calibration {
+            store: &mut store,
+            model: table2_profile(),
+        };
+        let mut g2 = Gpu::new(nvidia_v100());
+        let cald = serve_calibrated(&mut g2, &cpu, &pcie, &d, &tenants, &cfg, &mut cal);
+        assert_eq!(plain.makespan_secs.to_bits(), cald.makespan_secs.to_bits());
+        assert_eq!(plain.completed.len(), cald.completed.len());
+        for (x, y) in plain.completed.iter().zip(&cald.completed) {
+            assert_eq!(
+                (x.tenant, x.index, x.backend),
+                (y.tenant, y.index, y.backend)
+            );
+            assert_eq!(x.completed_at.to_bits(), y.completed_at.to_bits());
+            assert_eq!(x.result, y.result);
+            // The first admissions see an empty store; only later ones may
+            // have warmed past the threshold, so just check the cold ones.
+            if y.decision.samples == 0 {
+                assert_eq!(y.decision.source, BoundsSource::Static);
+            }
+        }
+    }
+
+    /// Replaying the same streams through a shared store warms it past
+    /// the trust threshold: later passes route on `Blended` bounds, the
+    /// report surfaces them, and every answer still matches the oracle.
+    #[test]
+    fn warm_calibrated_serve_blends_and_stays_correct() {
+        let d = data();
+        let tenants = streams(&d, 3, 4);
+        let cpu = intel_i7_6900();
+        let pcie = pcie_gen3();
+        let cfg = ServerConfig::default();
+        let mut store = CalibrationStore::default();
+        let mut gpu = Gpu::new(nvidia_v100());
+        let mut last = None;
+        for _ in 0..4 {
+            let mut cal = Calibration {
+                store: &mut store,
+                model: table2_profile(),
+            };
+            last = Some(serve_calibrated(
+                &mut gpu, &cpu, &pcie, &d, &tenants, &cfg, &mut cal,
+            ));
+        }
+        let report = last.unwrap();
+        assert!(
+            report.blended_decisions() > 0,
+            "four passes over a 12-query stream never warmed the store"
+        );
+        for (t, stream) in tenants.iter().enumerate() {
+            let got = report.tenant_results(t);
+            for (i, q) in stream.iter().enumerate() {
+                assert_eq!(*got[i], reference::execute(&d, q), "tenant {t} query {i}");
+            }
+        }
+    }
+
+    /// The sharded analogue of the cold-store identity: calibrated
+    /// sharded serving with an empty store reproduces the static sharded
+    /// run exactly, and a warmed store keeps the answers byte-identical.
+    #[test]
+    fn calibrated_sharded_serve_is_cold_identical_and_warm_correct() {
+        let d = data();
+        let pf = PartitionedFact::partition(&d, 6, &FactEncodings::plain());
+        let tenants = streams(&d, 3, 4);
+        let cpu = intel_i7_6900();
+        let pcie = pcie_gen3();
+        let cfg = ServerConfig::default();
+        let mut g1 = Gpu::new(nvidia_v100());
+        let plain = serve_sharded(&mut g1, &cpu, &pcie, &d, &pf, &tenants, &cfg);
+        let mut store = CalibrationStore::default();
+        let mut g2 = Gpu::new(nvidia_v100());
+        let mut report = None;
+        for pass in 0..3 {
+            let mut cal = Calibration {
+                store: &mut store,
+                model: table2_profile(),
+            };
+            let r =
+                serve_sharded_calibrated(&mut g2, &cpu, &pcie, &d, &pf, &tenants, &cfg, &mut cal);
+            if pass == 0 {
+                assert_eq!(plain.makespan_secs.to_bits(), r.makespan_secs.to_bits());
+                for (x, y) in plain.completed.iter().zip(&r.completed) {
+                    assert_eq!(
+                        (x.tenant, x.index, x.backend),
+                        (y.tenant, y.index, y.backend)
+                    );
+                    assert_eq!(x.completed_at.to_bits(), y.completed_at.to_bits());
+                }
+            }
+            report = Some(r);
+        }
+        for (t, stream) in tenants.iter().enumerate() {
+            let got = report.as_ref().unwrap().tenant_results(t);
+            for (i, q) in stream.iter().enumerate() {
+                assert_eq!(
+                    *got[i],
+                    reference::execute(&d, q),
+                    "tenant {t} query {i} (warm sharded)"
+                );
+            }
+        }
     }
 }

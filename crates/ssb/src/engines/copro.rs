@@ -20,7 +20,11 @@
 
 use crystal_gpu_sim::pcie::{coprocessor_time, CoprocessorTime};
 use crystal_gpu_sim::Gpu;
-use crystal_hardware::{CpuSpec, GpuSpec, PcieSpec};
+use crystal_hardware::{CpuSpec, GpuSpec, HardwareProfile, PcieSpec};
+use crystal_models::calibration::{
+    blended_fused_bounds, blended_shard_split, BlendParams, BoundsSource, CalibrationStore,
+    EncodingClass, Observation,
+};
 use crystal_models::ssb::{
     compressed_coprocessor_bounds, fused_coprocessor_bounds, hybrid_shard_split, ShardParams,
 };
@@ -569,6 +573,276 @@ fn run_device_shard(
     Ok((partial.agg, rows))
 }
 
+/// The [`crystal_models::calibration::EncodingClass`] of `q`'s referenced
+/// fact columns under `enc`: `Packed` as soon as any referenced column is
+/// bit-packed (that is when the host's unpack term and the compressed
+/// transfer bound deviate from the plain constants).
+pub fn query_encoding_class(d: &SsbData, q: &StarQuery, enc: &FactEncodings) -> EncodingClass {
+    if enc.packed_values(d.lineorder.rows(), &q.fact_columns()) > 0 {
+        EncodingClass::Packed
+    } else {
+        EncodingClass::Plain
+    }
+}
+
+/// A placement decision with its full provenance, so misroutes are
+/// debuggable instead of silent: the side chosen, the (possibly blended)
+/// seconds predicted for each side, whether measured history contributed,
+/// and how many observations backed it. Static decisions carry
+/// `source = Static, samples = 0`.
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementDecision {
+    /// The side the query was routed to.
+    pub placement: Placement,
+    /// Predicted device-side (coprocessor) seconds.
+    pub device_secs: f64,
+    /// Predicted host-side seconds.
+    pub host_secs: f64,
+    /// Whether the numbers are the analytic prior or a measured blend.
+    pub source: BoundsSource,
+    /// Observations backing the consulted calibration keys.
+    pub samples: u64,
+}
+
+impl From<PlacementChoice> for PlacementDecision {
+    fn from(c: PlacementChoice) -> Self {
+        PlacementDecision {
+            placement: c.placement,
+            device_secs: c.coprocessor_secs,
+            host_secs: c.host_secs,
+            source: BoundsSource::Static,
+            samples: 0,
+        }
+    }
+}
+
+impl PlacementDecision {
+    /// The equivalent static-shaped choice (for call sites that only care
+    /// about the routed side and the two bounds).
+    pub fn choice(&self) -> PlacementChoice {
+        PlacementChoice {
+            placement: self.placement,
+            coprocessor_secs: self.device_secs,
+            host_secs: self.host_secs,
+        }
+    }
+}
+
+/// [`choose_placement_resident`] through the calibration store: the same
+/// fused residency-aware bounds, with each cost component scaled by its
+/// key's blended observed/predicted factor. A cold store reproduces the
+/// static decision (and both bounds) bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub fn choose_placement_calibrated(
+    store: &CalibrationStore,
+    d: &SsbData,
+    q: &StarQuery,
+    enc: &FactEncodings,
+    cpu: &CpuSpec,
+    gpu: &GpuSpec,
+    pcie: &PcieSpec,
+    resident_bytes: usize,
+) -> PlacementDecision {
+    let rows = d.lineorder.rows();
+    let cols = q.fact_columns();
+    let p = BlendParams {
+        packed_bytes: enc.columns_bytes(rows, &cols),
+        resident_bytes,
+        packed_values: enc.packed_values(rows, &cols),
+        rows,
+        enc: query_encoding_class(d, q, enc),
+        sharded: false,
+    };
+    // Mirrors `choose_placement_resident`'s fused bound exactly (same
+    // fact_scale convention), so factor-1.0 keys change nothing.
+    let fact_scale = rows as f64 / (6_000_000 * d.sf) as f64;
+    let b = blended_fused_bounds(
+        store,
+        &p,
+        q.joins.len(),
+        true,
+        fact_scale.min(1.0),
+        cpu,
+        gpu,
+        pcie,
+    );
+    PlacementDecision {
+        placement: if b.device_secs < b.host_secs {
+            Placement::Coprocessor
+        } else {
+            Placement::Host
+        },
+        device_secs: b.device_secs,
+        host_secs: b.host_secs,
+        source: b.source,
+        samples: b.samples,
+    }
+}
+
+/// [`choose_placement_calibrated`] with the residency read live from a
+/// session's cache. Unlike [`choose_placement_session`], the model's
+/// `gpu` spec is passed explicitly rather than taken from the session:
+/// the whole point of calibration is that the hardware the session
+/// actually simulates may deviate from the spec sheet the prior believes.
+#[allow(clippy::too_many_arguments)]
+pub fn choose_placement_calibrated_session(
+    store: &CalibrationStore,
+    sess: &DeviceSession<'_>,
+    d: &SsbData,
+    q: &StarQuery,
+    enc: &FactEncodings,
+    cpu: &CpuSpec,
+    gpu: &GpuSpec,
+    pcie: &PcieSpec,
+) -> PlacementDecision {
+    let resident = sess.resident_bytes(&working_set_keys(d, q, enc));
+    choose_placement_calibrated(store, d, q, enc, cpu, gpu, pcie, resident)
+}
+
+/// A sharded placement with calibration provenance.
+pub struct CalibratedShardedChoice {
+    /// The per-shard split (same shape as [`choose_placement_sharded`]).
+    pub choice: ShardedChoice,
+    /// Whether any shard's bounds drew on measured history.
+    pub source: BoundsSource,
+    /// Total observations backing the consulted shard keys.
+    pub samples: u64,
+}
+
+/// [`choose_placement_sharded`] through the calibration store: each live
+/// shard is priced by the blended residency-aware bounds under its own
+/// shard-granular key (cardinality band of the *shard's* rows,
+/// `sharded = true`, so whole-table history never aliases in). A cold
+/// store reproduces the static split bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub fn choose_placement_calibrated_sharded(
+    store: &CalibrationStore,
+    sess: &DeviceSession<'_>,
+    d: &SsbData,
+    pf: &PartitionedFact,
+    q: &StarQuery,
+    cpu: &CpuSpec,
+    gpu: &GpuSpec,
+    pcie: &PcieSpec,
+) -> CalibratedShardedChoice {
+    let live = pf.live_shards(q);
+    let cols = q.fact_columns();
+    let params: Vec<BlendParams> = live
+        .iter()
+        .map(|&s| {
+            let shard = pf.shard(s);
+            BlendParams {
+                packed_bytes: shard.columns_bytes(&cols),
+                resident_bytes: sess.resident_bytes(&shard_working_set_keys(d, pf, s, q)),
+                packed_values: shard.packed_values(&cols),
+                rows: shard.rows(),
+                enc: if shard.packed_values(&cols) > 0 {
+                    EncodingClass::Packed
+                } else {
+                    EncodingClass::Plain
+                },
+                sharded: true,
+            }
+        })
+        .collect();
+    let (split, source, samples) = blended_shard_split(store, &params, cpu, gpu, pcie);
+    CalibratedShardedChoice {
+        choice: ShardedChoice {
+            device_shards: split.device_shards.iter().map(|&i| live[i]).collect(),
+            host_shards: split.host_shards.iter().map(|&i| live[i]).collect(),
+            device_secs: split.device_secs,
+            host_secs: split.host_secs,
+            device_only_secs: split.device_only_secs,
+            host_only_secs: split.host_only_secs,
+            live,
+        },
+        source,
+        samples,
+    }
+}
+
+/// Records one executed query's measured component seconds into the
+/// store, against what the static model on the `model` (spec-sheet)
+/// profile predicted. `kernel_secs`/`host_secs` follow the side the
+/// query actually ran on; `shipped_bytes` is what the session really
+/// uploaded (zero for a warm hit, which then carries no transfer
+/// information).
+#[allow(clippy::too_many_arguments)]
+pub fn record_query_observation(
+    store: &mut CalibrationStore,
+    model: &HardwareProfile,
+    d: &SsbData,
+    q: &StarQuery,
+    enc: &FactEncodings,
+    shipped_bytes: usize,
+    transfer_secs: f64,
+    kernel_secs: Option<f64>,
+    host_secs: Option<f64>,
+) {
+    let rows = d.lineorder.rows();
+    let cols = q.fact_columns();
+    let obs = Observation {
+        rows,
+        enc: query_encoding_class(d, q, enc),
+        sharded: false,
+        packed_bytes: enc.columns_bytes(rows, &cols),
+        packed_values: enc.packed_values(rows, &cols),
+        shipped_bytes,
+        transfer_secs,
+        kernel_secs,
+        host_secs,
+    };
+    store.record(&obs, &model.cpu, &model.gpu, &model.pcie);
+}
+
+/// The shard-granular analogue of [`record_query_observation`]: one
+/// observation aggregated over `q`'s live shards, keyed under the mean
+/// live shard's cardinality band with `sharded = true`. Shards are
+/// equal-range slices of the fact table, so the mean band is the band
+/// the split consults at decision time.
+#[allow(clippy::too_many_arguments)]
+pub fn record_sharded_observation(
+    store: &mut CalibrationStore,
+    model: &HardwareProfile,
+    pf: &PartitionedFact,
+    q: &StarQuery,
+    shipped_bytes: usize,
+    transfer_secs: f64,
+    kernel_secs: Option<f64>,
+    host_secs: Option<f64>,
+) {
+    let live = pf.live_shards(q);
+    if live.is_empty() {
+        return;
+    }
+    let cols = q.fact_columns();
+    let mut rows = 0usize;
+    let mut packed_bytes = 0usize;
+    let mut packed_values = 0usize;
+    for &s in &live {
+        let shard = pf.shard(s);
+        rows += shard.rows();
+        packed_bytes += shard.columns_bytes(&cols);
+        packed_values += shard.packed_values(&cols);
+    }
+    let obs = Observation {
+        rows: rows / live.len(),
+        enc: if packed_values > 0 {
+            EncodingClass::Packed
+        } else {
+            EncodingClass::Plain
+        },
+        sharded: true,
+        packed_bytes,
+        packed_values,
+        shipped_bytes,
+        transfer_secs,
+        kernel_secs,
+        host_secs,
+    };
+    store.record(&obs, &model.cpu, &model.gpu, &model.pcie);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -833,6 +1107,132 @@ mod tests {
         // warm columns (they were the only residents and stayed pinned
         // until the admission unwound).
         assert_eq!(sess.stats().evictions, evictions_before);
+    }
+
+    /// A cold calibration store reproduces every static
+    /// `choose_placement_resident` decision — and both bounds — bit for
+    /// bit, across all queries, encodings, and residency levels.
+    #[test]
+    fn cold_store_reproduces_static_placement_bit_for_bit() {
+        let d = SsbData::generate_scaled(1, 0.004, 11);
+        let cpu = intel_i7_6900();
+        let gpu = nvidia_v100();
+        let pcie = pcie_gen3();
+        let store = CalibrationStore::new();
+        for enc in [FactEncodings::plain(), FactEncodings::packed_min(&d)] {
+            for q in all_queries(&d) {
+                let ws = enc.columns_bytes(d.lineorder.rows(), &q.fact_columns());
+                for resident in [0, ws / 2, ws] {
+                    let stat = choose_placement_resident(&d, &q, &enc, &cpu, &gpu, &pcie, resident);
+                    let cal = choose_placement_calibrated(
+                        &store, &d, &q, &enc, &cpu, &gpu, &pcie, resident,
+                    );
+                    assert_eq!(cal.placement, stat.placement, "{}", q.name);
+                    assert_eq!(
+                        cal.device_secs.to_bits(),
+                        stat.coprocessor_secs.to_bits(),
+                        "{}",
+                        q.name
+                    );
+                    assert_eq!(
+                        cal.host_secs.to_bits(),
+                        stat.host_secs.to_bits(),
+                        "{}",
+                        q.name
+                    );
+                    assert_eq!(cal.source, BoundsSource::Static);
+                    assert_eq!(cal.samples, 0);
+                }
+            }
+        }
+    }
+
+    /// A cold store reproduces the static *sharded* split bit for bit.
+    #[test]
+    fn cold_store_reproduces_static_sharded_split() {
+        let d = SsbData::generate_scaled(1, 0.004, 11);
+        let cpu = intel_i7_6900();
+        let pcie = pcie_gen3();
+        let pf = PartitionedFact::partition(&d, 4, &FactEncodings::plain());
+        let q = query(&d, QueryId::new(2, 1));
+        let mut gpu = Gpu::new(nvidia_v100());
+        let mut sess = DeviceSession::new(&mut gpu);
+        for s in [0usize, 2] {
+            run_device_shard(&mut sess, &d, &pf, s, &q).unwrap();
+        }
+        let store = CalibrationStore::new();
+        let gpu_spec = sess.spec().clone();
+        let stat = choose_placement_sharded(&sess, &d, &pf, &q, &cpu, &pcie);
+        let cal =
+            choose_placement_calibrated_sharded(&store, &sess, &d, &pf, &q, &cpu, &gpu_spec, &pcie);
+        assert_eq!(cal.choice.live, stat.live);
+        assert_eq!(cal.choice.device_shards, stat.device_shards);
+        assert_eq!(cal.choice.host_shards, stat.host_shards);
+        assert_eq!(cal.choice.device_secs.to_bits(), stat.device_secs.to_bits());
+        assert_eq!(cal.choice.host_secs.to_bits(), stat.host_secs.to_bits());
+        assert_eq!(
+            cal.choice.device_only_secs.to_bits(),
+            stat.device_only_secs.to_bits()
+        );
+        assert_eq!(
+            cal.choice.host_only_secs.to_bits(),
+            stat.host_only_secs.to_bits()
+        );
+        assert_eq!(cal.source, BoundsSource::Static);
+        assert_eq!(cal.samples, 0);
+    }
+
+    /// Observed executions on a machine whose PCIe link runs at half
+    /// spec flip a packed query's routing from the device back to the
+    /// host — the closed loop the calibration layer exists for.
+    #[test]
+    fn observed_slow_transfers_flip_calibrated_placement() {
+        let d = SsbData::generate_scaled(1, 0.002, 7);
+        let model = crystal_hardware::table2_profile();
+        let enc = FactEncodings::packed_min(&d);
+        let q = query(&d, QueryId::new(1, 1));
+
+        // Premise: the static compression-aware model routes this query
+        // to the device (the compression flip).
+        let stat = choose_placement_resident(&d, &q, &enc, &model.cpu, &model.gpu, &model.pcie, 0);
+        assert_eq!(stat.placement, Placement::Coprocessor);
+
+        // The machine's real link delivers half the modeled bandwidth:
+        // every observed transfer takes twice the predicted seconds.
+        let mut store = CalibrationStore::new();
+        let shipped = enc.columns_bytes(d.lineorder.rows(), &q.fact_columns());
+        let predicted = shipped as f64 / model.pcie.bandwidth;
+        for _ in 0..20 {
+            record_query_observation(
+                &mut store,
+                &model,
+                &d,
+                &q,
+                &enc,
+                shipped,
+                predicted * 2.0,
+                Some(1e-6),
+                None,
+            );
+        }
+        let cal = choose_placement_calibrated(
+            &store,
+            &d,
+            &q,
+            &enc,
+            &model.cpu,
+            &model.gpu,
+            &model.pcie,
+            0,
+        );
+        assert_eq!(cal.source, BoundsSource::Blended);
+        assert!(cal.samples >= 20);
+        assert!(cal.device_secs > stat.coprocessor_secs * 1.5);
+        assert_eq!(
+            cal.placement,
+            Placement::Host,
+            "doubled observed transfers must push the packed query back to the host"
+        );
     }
 
     /// Both placement targets compute the same answer as the oracle.

@@ -216,6 +216,10 @@ pub struct DeviceQueryJob<'a> {
     hits: Vec<usize>,
     result_rows: usize,
     reports: Vec<KernelReport>,
+    /// Bytes this job's admission actually shipped host→device (zero on
+    /// a fully warm working set) — the transfer half of the calibration
+    /// observation the job reports when it completes.
+    uploaded_bytes: usize,
 }
 
 impl<'a> DeviceQueryJob<'a> {
@@ -260,9 +264,13 @@ impl<'a> DeviceQueryJob<'a> {
         n: usize,
         key_of: &dyn Fn(FactCol) -> ColumnKey,
     ) -> Result<Self, crystal_runtime::SessionOom> {
+        let before = sess.stats().clone();
         let qid = sess.begin_query();
         match Self::admit_inner(sess, qid, d, fact, q, n, key_of) {
-            Ok(job) => Ok(job),
+            Ok(mut job) => {
+                job.uploaded_bytes = sess.stats().uploaded_since(&before);
+                Ok(job)
+            }
             Err(e) => {
                 sess.end_query(qid);
                 Err(e)
@@ -336,12 +344,19 @@ impl<'a> DeviceQueryJob<'a> {
             hits: vec![0usize; q.joins.len()],
             result_rows: 0,
             reports,
+            uploaded_bytes: 0,
         })
     }
 
     /// Fact rows not yet processed.
     pub fn remaining_rows(&self) -> usize {
         self.n - self.cursor
+    }
+
+    /// Bytes this job's admission shipped over PCIe (zero when its whole
+    /// working set was already resident).
+    pub fn uploaded_bytes(&self) -> usize {
+        self.uploaded_bytes
     }
 
     /// Simulated seconds of every kernel this job has launched so far
@@ -656,6 +671,8 @@ pub struct DeviceShardedJob<'a> {
     /// ht_bytes / insert-fraction fields all shards share.
     stage_meta: Option<Vec<StageTrace>>,
     scanned: usize,
+    /// PCIe bytes accumulated across every shard admission.
+    uploaded: usize,
 }
 
 impl<'a> DeviceShardedJob<'a> {
@@ -683,6 +700,7 @@ impl<'a> DeviceShardedJob<'a> {
             reports: Vec::new(),
             stage_meta: None,
             scanned: 0,
+            uploaded: 0,
         };
         job.admit_next(sess)?;
         Ok(job)
@@ -692,9 +710,9 @@ impl<'a> DeviceShardedJob<'a> {
         if self.next < self.live.len() {
             let shard = self.live[self.next];
             self.next += 1;
-            self.cur = Some(DeviceQueryJob::admit_shard(
-                sess, self.d, self.pf, shard, self.q,
-            )?);
+            let cur = DeviceQueryJob::admit_shard(sess, self.d, self.pf, shard, self.q)?;
+            self.uploaded += cur.uploaded_bytes();
+            self.cur = Some(cur);
         }
         Ok(())
     }
@@ -728,6 +746,12 @@ impl<'a> DeviceShardedJob<'a> {
     /// Rows scanned so far (live shards only — the pruning saving).
     pub fn rows_scanned(&self) -> usize {
         self.scanned
+    }
+
+    /// Bytes shipped over PCIe by every shard admission so far (zero
+    /// once the live working set is warm).
+    pub fn uploaded_bytes(&self) -> usize {
+        self.uploaded
     }
 
     /// Simulated kernel seconds launched so far, across retired shards

@@ -558,6 +558,13 @@ impl<'a> HostQueryJob<'a> {
         self.n - self.cursor
     }
 
+    /// Fact rows processed so far — paired with the scheduler's charged
+    /// host seconds, this is the scan half of the calibration
+    /// observation a finished host job reports.
+    pub fn rows_processed(&self) -> usize {
+        self.cursor
+    }
+
     /// Processes the next `max_rows` fact rows (saturating at the end of
     /// the table) and yields. Returns `true` once the whole table has
     /// been scanned.
