@@ -49,6 +49,12 @@
 //!               replay under half the sharded working set, byte-
 //!               identity asserted (exits non-zero if a band is missed;
 //!               --smoke shortens the stream for CI)
+//!   overlap     copy/compute stream pipelining: cold chunked-upload
+//!               speedup vs serial charging and the fraction of
+//!               non-first-shard transfer the double-buffered sharded
+//!               replay hides, byte-identity asserted (exits non-zero
+//!               if a band is missed; --smoke runs the band queries
+//!               only)
 //!   scorecard   every headline number vs its tolerance band (exits
 //!               non-zero on a miss)
 //!   all         everything above (default)
@@ -126,6 +132,11 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            "overlap" => {
+                if !crystal_bench::overlap::overlap(&cfg, smoke) {
+                    std::process::exit(1);
+                }
+            }
             "calibration" => {
                 if !crystal_bench::calibration::calibration(&cfg, smoke) {
                     std::process::exit(1);
@@ -147,6 +158,7 @@ fn main() {
                 crystal_bench::contention::contention(&cfg, smoke);
                 crystal_bench::fusion::fusion(&cfg, smoke);
                 crystal_bench::sharded::sharded(&cfg, smoke);
+                crystal_bench::overlap::overlap(&cfg, smoke);
                 crystal_bench::calibration::calibration(&cfg, smoke);
                 crystal_bench::kernels::microbench(&cfg, smoke);
                 tables::whatif();
@@ -154,7 +166,7 @@ fn main() {
             }
             other => {
                 eprintln!("unknown experiment: {other}");
-                eprintln!("known: table2 fig3 fig9 tile-model fig10 fig12 fig13 fig14 sort fig16 case-study table3 ablations query-stream contention fusion sharded calibration microbench whatif scorecard all (plus ablation-radix-join ablation-join-order ablation-multi-gpu ablation-agg ablation-compression ablation-hybrid ablation-skew)");
+                eprintln!("known: table2 fig3 fig9 tile-model fig10 fig12 fig13 fig14 sort fig16 case-study table3 ablations query-stream contention fusion sharded overlap calibration microbench whatif scorecard all (plus ablation-radix-join ablation-join-order ablation-multi-gpu ablation-agg ablation-compression ablation-hybrid ablation-skew)");
                 std::process::exit(2);
             }
         }

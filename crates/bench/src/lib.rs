@@ -20,6 +20,7 @@ pub mod contention;
 pub mod fusion;
 pub mod kernels;
 pub mod micro;
+pub mod overlap;
 pub mod scorecard;
 pub mod sharded;
 pub mod ssb_exp;

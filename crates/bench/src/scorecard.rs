@@ -388,6 +388,39 @@ pub fn scorecard(cfg: &Config) -> bool {
         });
     }
 
+    // The simulated copy engine (the stream-overlap tentpole): a cold
+    // q1.1 must finish materially faster on the copy/compute stream
+    // clocks than under serial transfer+kernel charging, and the
+    // double-buffered sharded replay must hide most of the
+    // non-first-shard transfer (byte-identity against the reference
+    // oracle is asserted inside the helpers).
+    {
+        let dd = SsbData::generate_scaled(1, 0.002, crate::stream::STREAM_SEED);
+        let q11 = crystal_ssb::queries::query(&dd, crystal_ssb::QueryId::new(1, 1));
+        let r = crate::overlap::cold_unsharded(&dd, &q11);
+        checks.push(Check {
+            name: "cold q1.1 overlap speedup (>= 1.4x)",
+            paper: 2.0,
+            reproduced: r.speedup(),
+            lo: crate::overlap::MIN_COLD_SPEEDUP,
+            hi: f64::INFINITY,
+        });
+        let pf = crystal_ssb::PartitionedFact::partition(
+            &dd,
+            crate::overlap::SHARDS,
+            &FactEncodings::plain(),
+        );
+        let q21 = crystal_ssb::queries::query(&dd, crystal_ssb::QueryId::new(2, 1));
+        let s = crate::overlap::cold_sharded(&dd, &pf, &q21);
+        checks.push(Check {
+            name: "sharded prefetch hides transfer (>= 70%)",
+            paper: 1.0,
+            reproduced: s.hidden_frac,
+            lo: crate::overlap::MIN_HIDDEN_FRAC,
+            hi: 1.0,
+        });
+    }
+
     // Word-parallel chunked kernels: the two-phase chunked packed
     // selection scan must be no slower than the retained scalar reference
     // at whatever optimization level this scorecard runs under (the

@@ -14,6 +14,7 @@ use crystal_hardware::GpuSpec;
 use crate::cache::Cache;
 use crate::mem::{DeviceBuffer, Memory, OutOfDeviceMemory};
 use crate::stats::{ExecStats, KernelReport, KernelStats};
+use crate::stream::{CopyEvents, StreamEngine};
 use crate::timing::{kernel_time, LaunchShape};
 
 /// Kernel launch geometry, mirroring CUDA's `<<<grid, block>>>` plus the
@@ -207,14 +208,23 @@ fn span_lines(addr: u64, bytes: u64, line: u64) -> u64 {
     (addr + bytes - 1) / line - addr / line + 1
 }
 
-/// The simulated device: spec, global memory, device-wide L2 and the log of
-/// executed kernels.
+/// The simulated device: spec, global memory, device-wide L2, the log of
+/// executed kernels, and the copy/compute stream pair that tracks how much
+/// of the DMA traffic hides behind in-flight kernels.
 pub struct Gpu {
     spec: GpuSpec,
     mem: Memory,
     l2: Cache,
     reports: Vec<KernelReport>,
     exec: ExecStats,
+    streams: StreamEngine,
+    /// One-shot copy-event gate consumed by the next [`Gpu::launch`]: the
+    /// kernel may not start on the compute stream before this time.
+    pending_gate: Option<f64>,
+    /// One-shot drain floor consumed by the next [`Gpu::launch`]: the
+    /// kernel may not retire before this time (it cannot consume bytes
+    /// faster than the link delivers them).
+    pending_floor: Option<f64>,
 }
 
 impl Gpu {
@@ -227,6 +237,9 @@ impl Gpu {
             l2,
             reports: Vec::new(),
             exec: ExecStats::default(),
+            streams: StreamEngine::new(),
+            pending_gate: None,
+            pending_floor: None,
         }
     }
 
@@ -319,6 +332,10 @@ impl Gpu {
         self.exec.launches += 1;
         self.exec.hbm_read_bytes += stats.hbm_read_bytes();
         self.exec.hbm_write_bytes += stats.hbm_write_bytes();
+        self.exec.kernel_secs += time.total_secs();
+        let gate = self.pending_gate.take();
+        let floor = self.pending_floor.take();
+        let span = self.streams.launch(time.total_secs(), gate, floor);
         let report = KernelReport {
             name: name.to_string(),
             grid_dim: cfg.grid_dim,
@@ -327,10 +344,45 @@ impl Gpu {
             launches: 1,
             stats,
             time,
+            stream: span,
             fact_linear: false,
         };
         self.reports.push(report.clone());
         report
+    }
+
+    /// Records one host-to-device transfer on the simulated copy stream.
+    ///
+    /// `ramp_secs` is the chunked upload's ramp (latency + first chunk),
+    /// `bw_secs` its pure bandwidth term, and `serial_secs` the full serial
+    /// cost (latency + bandwidth) a non-overlapping implementation would
+    /// pay. The DMA queue charges only `bw_secs` — queued copies stream
+    /// back-to-back at line rate — while [`ExecStats::dma_secs`] accrues
+    /// `serial_secs`, so the stats stay the honest serial baseline the
+    /// overlap experiments compare the stream makespan against.
+    pub fn record_dma(&mut self, ramp_secs: f64, bw_secs: f64, serial_secs: f64) -> CopyEvents {
+        self.exec.dma_transfers += 1;
+        self.exec.dma_secs += serial_secs;
+        self.streams.enqueue_copy(ramp_secs, bw_secs)
+    }
+
+    /// Gates the *next* [`Gpu::launch`] on a copy event: the kernel will
+    /// not start on the compute stream before `t` (one-shot; later
+    /// launches are unaffected).
+    pub fn stream_wait(&mut self, t: f64) {
+        self.pending_gate = Some(self.pending_gate.map_or(t, |g: f64| g.max(t)));
+    }
+
+    /// Floors the *next* [`Gpu::launch`]'s retirement at `t` — typically a
+    /// copy's drain event, so a kernel racing its own input transfer never
+    /// finishes before the link does (one-shot).
+    pub fn stream_floor(&mut self, t: f64) {
+        self.pending_floor = Some(self.pending_floor.map_or(t, |f: f64| f.max(t)));
+    }
+
+    /// The copy/compute stream clocks (read-only).
+    pub fn streams(&self) -> &StreamEngine {
+        &self.streams
     }
 
     /// Cumulative device-level execution counters since construction.

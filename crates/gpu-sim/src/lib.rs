@@ -31,10 +31,12 @@ pub mod fused;
 pub mod mem;
 pub mod pcie;
 pub mod stats;
+pub mod stream;
 pub mod timing;
 
 pub use exec::{Gpu, LaunchConfig};
 pub use fused::FusedStarKernel;
 pub use mem::DeviceBuffer;
 pub use stats::{ExecStats, KernelReport, KernelStats};
+pub use stream::{CopyEvents, StreamEngine, StreamSpan};
 pub use timing::SimTime;

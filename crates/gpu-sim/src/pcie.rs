@@ -4,9 +4,12 @@
 //! GPU per query. The paper's bound: with perfect overlap of transfer and
 //! execution, query time is `max(transfer, exec)`, and since PCIe bandwidth
 //! is below the CPU's own memory bandwidth, the coprocessor can never beat a
-//! bandwidth-saturating CPU implementation.
+//! bandwidth-saturating CPU implementation. The `pipelined` estimate sits
+//! between the two ideals: a chunked upload lets the consumer kernel start
+//! after the first chunk lands (the ramp), then race the remaining transfer
+//! — what the simulated copy engine actually realizes.
 
-use crystal_hardware::PcieSpec;
+use crystal_hardware::{upload_chunks, PcieSpec};
 
 /// Outcome of a coprocessor-model query execution.
 #[derive(Debug, Clone, Copy)]
@@ -18,6 +21,12 @@ pub struct CoprocessorTime {
     /// Total with perfect transfer/execution overlap (the paper's lower
     /// bound: `max(transfer, exec)`).
     pub overlapped: f64,
+    /// Total with chunked-upload pipelining
+    /// ([`PcieSpec::pipelined_secs`] at the engine's
+    /// [`UPLOAD_CHUNK_BYTES`](crystal_hardware::pcie::UPLOAD_CHUNK_BYTES)
+    /// granularity): ramp + `max` of the steady-state rates. Always
+    /// between `overlapped` and `serial`.
+    pub pipelined: f64,
     /// Total with no overlap (`transfer + exec`) — an upper bound.
     pub serial: f64,
 }
@@ -36,6 +45,7 @@ pub fn coprocessor_time(pcie: &PcieSpec, bytes: usize, exec_secs: f64) -> Coproc
         transfer,
         exec: exec_secs,
         overlapped: transfer.max(exec_secs),
+        pipelined: pcie.pipelined_secs(bytes, upload_chunks(bytes), exec_secs),
         serial: transfer + exec_secs,
     }
 }
@@ -58,5 +68,28 @@ mod tests {
     fn exec_bound_when_kernel_dominates() {
         let t = coprocessor_time(&pcie_gen3(), 1 << 20, 0.5);
         assert!((t.overlapped - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipelined_sits_between_the_ideal_and_serial_bounds() {
+        for (bytes, exec) in [(1usize << 30, 0.005), (1 << 20, 0.5), (0, 0.1)] {
+            let t = coprocessor_time(&pcie_gen3(), bytes, exec);
+            assert!(
+                t.overlapped <= t.pipelined + 1e-15,
+                "pipelined {} below ideal {}",
+                t.pipelined,
+                t.overlapped
+            );
+            assert!(
+                t.pipelined <= t.serial + 1e-15,
+                "pipelined {} above serial {}",
+                t.pipelined,
+                t.serial
+            );
+        }
+        // Zero bytes: all four collapse onto the kernel time.
+        let t = coprocessor_time(&pcie_gen3(), 0, 0.1);
+        assert_eq!(t.pipelined, 0.1);
+        assert_eq!(t.serial, 0.1);
     }
 }

@@ -1,5 +1,6 @@
 //! Kernel execution statistics: the trace the timing model consumes.
 
+use crate::stream::StreamSpan;
 use crate::timing::SimTime;
 
 /// Raw resource counts accumulated while a kernel executes.
@@ -87,14 +88,33 @@ impl KernelStats {
 /// around a region and diff with [`ExecStats::since`]. This is how the fused
 /// path proves "one launch per query" and how the fusion harness splits HBM
 /// reads/writes into before/after deltas without threading reports around.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Transfer and compute time are accounted *separately* per stream:
+/// `dma_secs` is the serialized busy time of the copy engine (each transfer
+/// charged its full latency + bandwidth cost, as a serial implementation
+/// would pay it) and `kernel_secs` is the serialized busy time of the
+/// compute engine. The overlapped makespan — how much wall-clock the two
+/// streams actually cost together — lives on the
+/// [`StreamEngine`](crate::stream::StreamEngine) clocks; comparing it
+/// against `dma_secs + kernel_secs` is how the overlap experiment measures
+/// hidden transfer time instead of inferring it.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ExecStats {
-    /// Kernel launches executed.
+    /// Kernel launches executed (compute-stream launch count).
     pub launches: u64,
+    /// Host-to-device transfers recorded (DMA-stream launch count).
+    pub dma_transfers: u64,
     /// Bytes read across the HBM interface (streaming + gather misses).
     pub hbm_read_bytes: u64,
     /// Bytes written across the HBM interface (streaming + scatter misses).
     pub hbm_write_bytes: u64,
+    /// Serialized copy-engine busy seconds: every recorded transfer's full
+    /// cost (per-transfer latency + bytes/bandwidth), summed as if no
+    /// transfer overlapped any kernel. The serial baseline.
+    pub dma_secs: f64,
+    /// Serialized compute-engine busy seconds: every launched kernel's
+    /// simulated time, summed.
+    pub kernel_secs: f64,
 }
 
 impl ExecStats {
@@ -102,8 +122,11 @@ impl ExecStats {
     pub fn since(&self, before: &ExecStats) -> ExecStats {
         ExecStats {
             launches: self.launches - before.launches,
+            dma_transfers: self.dma_transfers - before.dma_transfers,
             hbm_read_bytes: self.hbm_read_bytes - before.hbm_read_bytes,
             hbm_write_bytes: self.hbm_write_bytes - before.hbm_write_bytes,
+            dma_secs: self.dma_secs - before.dma_secs,
+            kernel_secs: self.kernel_secs - before.kernel_secs,
         }
     }
 }
@@ -122,6 +145,11 @@ pub struct KernelReport {
     pub launches: u64,
     pub stats: KernelStats,
     pub time: SimTime,
+    /// Occupancy of the simulated compute stream: when the kernel started
+    /// (after any copy-event gate) and when it retired (after any
+    /// transfer-drain floor). Serial callers that never touch the copy
+    /// engine see `end - start == time.total_secs()`.
+    pub stream: StreamSpan,
     /// Whether the kernel's work grows linearly with the fact-table row
     /// count. Engines tag their fact scans/probes explicitly so scaled-time
     /// extrapolation (`sim_secs_scaled`) never has to guess from the kernel
@@ -182,18 +210,37 @@ mod tests {
     fn exec_stats_since_diffs_every_counter() {
         let before = ExecStats {
             launches: 2,
+            dma_transfers: 1,
             hbm_read_bytes: 1000,
             hbm_write_bytes: 100,
+            dma_secs: 2e-5,
+            kernel_secs: 1e-5,
         };
         let after = ExecStats {
             launches: 3,
+            dma_transfers: 4,
             hbm_read_bytes: 1600,
             hbm_write_bytes: 140,
+            dma_secs: 8e-5,
+            kernel_secs: 5e-5,
         };
         let d = after.since(&before);
         assert_eq!(d.launches, 1);
+        assert_eq!(d.dma_transfers, 3);
         assert_eq!(d.hbm_read_bytes, 600);
         assert_eq!(d.hbm_write_bytes, 40);
+        assert!((d.dma_secs - 6e-5).abs() < 1e-18);
+        assert!((d.kernel_secs - 4e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn exec_stats_split_streams_start_at_zero() {
+        let z = ExecStats::default();
+        assert_eq!(z.dma_transfers, 0);
+        assert_eq!(z.dma_secs, 0.0);
+        assert_eq!(z.kernel_secs, 0.0);
+        // A self-diff is the zero delta.
+        assert_eq!(z.since(&z), ExecStats::default());
     }
 
     #[test]

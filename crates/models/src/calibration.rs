@@ -34,7 +34,7 @@
 
 use std::collections::BTreeMap;
 
-use crystal_hardware::{CpuSpec, GpuSpec, PcieSpec};
+use crystal_hardware::{CpuSpec, GpuSpec, PcieSpec, UPLOAD_CHUNK_BYTES};
 
 use crate::ssb::{
     compressed_scan_secs, cpu_unpack_secs, launch_overhead_secs, star_query_launches, HybridSplit,
@@ -320,14 +320,16 @@ impl CalibrationStore {
 /// key's blended factor:
 ///
 /// ```text
-/// device = max(tf * uncached / Bp,  kf * packed / Bg)
+/// device = tf * ramp + max(tf * (uncached / Bp - ramp),  kf * packed / Bg)
 /// host   = hf * max(packed / Bc, unpack)
 /// ```
 ///
-/// where `tf`/`kf`/`hf` are the transfer / device-kernel / host-scan
-/// factors for this evaluation's key axes. With a cold store all three
-/// are `1.0` and the result equals the static bounds bit for bit (the
-/// `max` order matches [`crate::ssb::resident_coprocessor_bounds`] exactly).
+/// where `ramp` is the pipelined upload's first chunk, and `tf`/`kf`/`hf`
+/// are the transfer / device-kernel / host-scan factors for this
+/// evaluation's key axes (the ramp is link time, so it blends under the
+/// transfer factor). With a cold store all three are `1.0` and the result
+/// equals the static bounds bit for bit (the term order matches
+/// [`crate::ssb::resident_coprocessor_bounds`] exactly).
 pub fn blended_resident_bounds(
     store: &CalibrationStore,
     p: &BlendParams,
@@ -342,8 +344,11 @@ pub fn blended_resident_bounds(
     let tk = CalKey::new(OpKind::Transfer, p.enc, uncached, p.sharded);
     let kk = CalKey::new(OpKind::DeviceKernel, p.enc, p.rows, p.sharded);
     let hk = CalKey::new(OpKind::HostScan, p.enc, p.rows, p.sharded);
-    let device = (store.factor(tk) * compressed_scan_secs(uncached, pcie.bandwidth))
-        .max(store.factor(kk) * compressed_scan_secs(p.packed_bytes, gpu.read_bw));
+    let ramp = compressed_scan_secs(uncached.min(UPLOAD_CHUNK_BYTES), pcie.bandwidth);
+    let rest = compressed_scan_secs(uncached, pcie.bandwidth) - ramp;
+    let device = store.factor(tk) * ramp
+        + (store.factor(tk) * rest)
+            .max(store.factor(kk) * compressed_scan_secs(p.packed_bytes, gpu.read_bw));
     let host = store.factor(hk)
         * compressed_scan_secs(p.packed_bytes, cpu.read_bw)
             .max(cpu_unpack_secs(p.packed_values, cpu));

@@ -50,6 +50,7 @@ use crystal_core::tile::Tile;
 use crystal_gpu_sim::exec::BlockCtx;
 use crystal_gpu_sim::mem::DeviceBuffer;
 use crystal_gpu_sim::stats::KernelReport;
+use crystal_gpu_sim::stream::CopyEvents;
 use crystal_gpu_sim::Gpu;
 use crystal_hardware::{pcie_gen3, GpuSpec, PcieSpec};
 use crystal_storage::bitpack::PackedColumn;
@@ -310,6 +311,10 @@ pub struct DeviceSession<'g> {
     ledger: Vec<(u64, Vec<PinRef>)>,
     next_query: u64,
     stats: SessionStats,
+    /// Copy-stream events of uploads recorded since the last
+    /// [`DeviceSession::take_pending_copy`]: the merged first-chunk /
+    /// drain times a dependent kernel gates on.
+    pending_copy: Option<CopyEvents>,
 }
 
 impl<'g> DeviceSession<'g> {
@@ -341,6 +346,7 @@ impl<'g> DeviceSession<'g> {
             ledger: Vec::new(),
             next_query: 0,
             stats: SessionStats::default(),
+            pending_copy: None,
         }
     }
 
@@ -364,6 +370,12 @@ impl<'g> DeviceSession<'g> {
     /// The cache budget in bytes.
     pub fn budget(&self) -> usize {
         self.budget
+    }
+
+    /// Bytes still unallocated on the device — what a prefetcher can
+    /// stage without evicting anything.
+    pub fn device_free_bytes(&self) -> usize {
+        self.gpu.spec().mem_capacity - self.gpu.mem_used()
     }
 
     /// Cache counters so far.
@@ -492,6 +504,28 @@ impl<'g> DeviceSession<'g> {
         Ok(out)
     }
 
+    /// Stages a column for a *future* query without handing out a borrow:
+    /// uploads (on a miss) and pins the entry under `q`'s ledger, dropping
+    /// the `Rc` immediately. The double-buffering sharded job uses this to
+    /// ship shard *k+1*'s columns on the copy stream while shard *k*'s
+    /// kernel runs; the later real `pin_column` under the consuming query
+    /// then hits the warm entry without touching the link.
+    pub fn prefetch_column(
+        &mut self,
+        q: QueryId,
+        key: ColumnKey,
+        host: HostCol<'_>,
+    ) -> Result<(), SessionOom> {
+        self.pin_column(q, key, host).map(drop)
+    }
+
+    /// Drains the copy-stream events accumulated by uploads since the last
+    /// call: the merged first-chunk gate and drain floor the next dependent
+    /// kernel should honor. `None` when everything was already resident.
+    pub fn take_pending_copy(&mut self) -> Option<CopyEvents> {
+        self.pending_copy.take()
+    }
+
     // ---- cache access ----
 
     /// Returns the device-resident column for `key`, uploading from `host`
@@ -545,6 +579,15 @@ impl<'g> DeviceSession<'g> {
         self.stats.uploaded_bytes += bytes as u64;
         self.stats.cached_bytes += bytes;
         let cost = self.pcie.transfer_secs(bytes);
+        let ev = self.gpu.record_dma(
+            self.pcie.chunk_ramp_secs(bytes),
+            bytes as f64 / self.pcie.bandwidth,
+            cost,
+        );
+        match &mut self.pending_copy {
+            Some(p) => p.merge(ev),
+            None => self.pending_copy = Some(ev),
+        }
         self.seq += 1;
         let entry = Entry {
             res: Rc::new(col),

@@ -1,12 +1,16 @@
 //! The coprocessor execution model (Section 3.1), residency-aware.
 //!
 //! Data lives in host memory; per query, every referenced fact column that
-//! is not already device-resident is shipped over PCIe before (or while)
-//! the GPU executes. With perfect transfer/compute overlap the query
-//! cannot run faster than the transfer time — and since PCIe bandwidth is
-//! far below GPU memory bandwidth, the transfer dominates, which is why
-//! "for all queries, the query runtime in GPU coprocessor is bound by the
-//! PCIe transfer time".
+//! is not already device-resident is shipped over PCIe *while* the GPU
+//! executes: uploads stream on the simulated copy engine
+//! ([`crystal_gpu_sim::StreamEngine`]) and the consumer kernel starts once
+//! the first chunk lands, so a cold query costs the overlapped makespan
+//! `ramp + max(transfer − ramp, kernels)` — no longer the serial
+//! `transfer + kernels` sum. Overlap hides the kernels, not the wire:
+//! even pipelined, the query cannot run faster than the transfer time,
+//! and since PCIe bandwidth is far below GPU memory bandwidth the
+//! transfer dominates, which is why "for all queries, the query runtime
+//! in GPU coprocessor is bound by the PCIe transfer time".
 //!
 //! The transfer volume is whatever the
 //! [`DeviceSession`] actually uploads: a

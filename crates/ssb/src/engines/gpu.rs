@@ -38,6 +38,7 @@ use crystal_core::tile::Tile;
 use crystal_gpu_sim::fused::FusedStarKernel;
 use crystal_gpu_sim::mem::DeviceBuffer;
 use crystal_gpu_sim::stats::KernelReport;
+use crystal_gpu_sim::stream::CopyEvents;
 use crystal_gpu_sim::Gpu;
 use crystal_runtime::{ColumnKey, DeviceCol, DeviceSession, HostCol, SessionOom};
 use crystal_storage::encoding::EncodedColumn;
@@ -220,6 +221,11 @@ pub struct DeviceQueryJob<'a> {
     /// a fully warm working set) — the transfer half of the calibration
     /// observation the job reports when it completes.
     uploaded_bytes: usize,
+    /// Copy-stream events of this job's admission uploads (`None` on a
+    /// warm working set): the first fused launch gates its start on the
+    /// first chunk landing and floors its retirement at the transfer
+    /// drain, so the stream clocks realize the chunk-pipelined overlap.
+    copy_events: Option<CopyEvents>,
 }
 
 impl<'a> DeviceQueryJob<'a> {
@@ -269,6 +275,7 @@ impl<'a> DeviceQueryJob<'a> {
         match Self::admit_inner(sess, qid, d, fact, q, n, key_of) {
             Ok(mut job) => {
                 job.uploaded_bytes = sess.stats().uploaded_since(&before);
+                job.copy_events = sess.take_pending_copy();
                 Ok(job)
             }
             Err(e) => {
@@ -345,6 +352,7 @@ impl<'a> DeviceQueryJob<'a> {
             result_rows: 0,
             reports,
             uploaded_bytes: 0,
+            copy_events: None,
         })
     }
 
@@ -407,6 +415,17 @@ impl<'a> DeviceQueryJob<'a> {
         let probes = &mut self.probes;
         let hits = &mut self.hits;
         let result_rows = &mut self.result_rows;
+
+        // The first probe launch after a cold admission depends on the
+        // uploaded columns: gate its start on the first chunk landing and
+        // floor its retirement at the transfer drain (the kernel cannot
+        // consume bytes faster than the link delivers them). One-shot —
+        // later grants run against resident data.
+        if let Some(ev) = self.copy_events.take() {
+            let gpu = sess.gpu();
+            gpu.stream_wait(ev.first_chunk);
+            gpu.stream_floor(ev.done);
+        }
 
         let report = fused.launch(sess.gpu(), |ctx| {
             let (tile_start, len) = ctx.tile_bounds(batch);
@@ -671,8 +690,25 @@ pub struct DeviceShardedJob<'a> {
     /// ht_bytes / insert-fraction fields all shards share.
     stage_meta: Option<Vec<StageTrace>>,
     scanned: usize,
-    /// PCIe bytes accumulated across every shard admission.
+    /// PCIe bytes accumulated across every shard admission (prefetched
+    /// staging uploads included — they are the same bytes, just shipped
+    /// earlier).
     uploaded: usize,
+    /// The double buffer: the next shard's columns, prefetched on the
+    /// copy stream under their own pin ledger while the current shard's
+    /// kernel runs. At most one shard is ever staged (a 2-shard budget:
+    /// current + next), and staging never evicts — under pressure the
+    /// pipeline stalls back to upload-at-admission instead.
+    staged: Option<StagedShard>,
+}
+
+/// One prefetched shard: its staging pin ledger and the copy-stream
+/// events its uploads produced (consumed by the shard's first launch).
+struct StagedShard {
+    /// Index into `live` this staging covers (always the next to admit).
+    idx: usize,
+    qid: crystal_runtime::QueryId,
+    events: Option<CopyEvents>,
 }
 
 impl<'a> DeviceShardedJob<'a> {
@@ -701,6 +737,7 @@ impl<'a> DeviceShardedJob<'a> {
             stage_meta: None,
             scanned: 0,
             uploaded: 0,
+            staged: None,
         };
         job.admit_next(sess)?;
         Ok(job)
@@ -710,11 +747,84 @@ impl<'a> DeviceShardedJob<'a> {
         if self.next < self.live.len() {
             let shard = self.live[self.next];
             self.next += 1;
-            let cur = DeviceQueryJob::admit_shard(sess, self.d, self.pf, shard, self.q)?;
+            // Release the staging ledger *immediately before* re-admission:
+            // the prefetched columns stay cached, so the admission re-pins
+            // them as hits without allocating — there is no window in which
+            // anything could evict them.
+            let staged_events = match self.staged.take() {
+                Some(s) => {
+                    debug_assert_eq!(s.idx, self.next - 1, "staged shard out of order");
+                    sess.end_query(s.qid);
+                    s.events
+                }
+                None => None,
+            };
+            let mut cur = DeviceQueryJob::admit_shard(sess, self.d, self.pf, shard, self.q)?;
             self.uploaded += cur.uploaded_bytes();
+            if let Some(ev) = staged_events {
+                match &mut cur.copy_events {
+                    Some(own) => own.merge(ev),
+                    None => cur.copy_events = Some(ev),
+                }
+            }
             self.cur = Some(cur);
+            self.prefetch_next(sess);
         }
         Ok(())
+    }
+
+    /// Stages the next live shard's columns on the copy stream while the
+    /// current shard's kernel runs. Staging is strictly best-effort: it
+    /// only proceeds when the uncached bytes fit the session budget *and*
+    /// free device memory without evicting anything — a prefetch must
+    /// never steal residency from the running shard or a co-tenant, so
+    /// under pressure the double buffer stalls (the shard uploads at its
+    /// own admission, exactly the pre-pipelining behavior).
+    fn prefetch_next(&mut self, sess: &mut DeviceSession<'_>) {
+        if self.staged.is_some() || self.next >= self.live.len() {
+            return;
+        }
+        let shard = self.live[self.next];
+        let fact = self.pf.shard(shard).encoded();
+        let cols = self.q.fact_columns();
+        let host_of = |c: FactCol| match fact.encoded(c) {
+            EncodedColumn::Packed(p) => HostCol::Packed(p),
+            EncodedColumn::Plain(v) => HostCol::Plain(v),
+        };
+        let uncached: usize = cols
+            .iter()
+            .map(|&c| {
+                if sess.is_resident(shard_column_key(self.d, shard, c, fact)) {
+                    0
+                } else {
+                    host_of(c).size_bytes()
+                }
+            })
+            .sum();
+        if sess.stats().cached_bytes + uncached > sess.budget()
+            || uncached > sess.device_free_bytes()
+        {
+            return;
+        }
+        let before = sess.stats().clone();
+        let qid = sess.begin_query();
+        for &c in &cols {
+            let key = shard_column_key(self.d, shard, c, fact);
+            if sess.prefetch_column(qid, key, host_of(c)).is_err() {
+                // Lost a race against concurrent allocation: stall rather
+                // than evict. Entries uploaded so far stay cached and the
+                // admission will reuse them.
+                sess.end_query(qid);
+                self.uploaded += sess.stats().uploaded_since(&before);
+                return;
+            }
+        }
+        self.uploaded += sess.stats().uploaded_since(&before);
+        self.staged = Some(StagedShard {
+            idx: self.next,
+            qid,
+            events: sess.take_pending_copy(),
+        });
     }
 
     fn retire(&mut self, sess: &mut DeviceSession<'_>, job: DeviceQueryJob<'a>) {
@@ -808,6 +918,9 @@ impl<'a> DeviceShardedJob<'a> {
     /// — the mid-query OOM recovery path. Retired shards' partial work
     /// is discarded with the job.
     pub fn abandon(mut self, sess: &mut DeviceSession<'_>) {
+        if let Some(s) = self.staged.take() {
+            sess.end_query(s.qid);
+        }
         if let Some(job) = self.cur.take() {
             job.abandon(sess);
         }
@@ -822,6 +935,9 @@ impl<'a> DeviceShardedJob<'a> {
             self.cur.is_none() && self.next >= self.live.len(),
             "finished a sharded job with shards remaining"
         );
+        // Staging only ever covers a shard that is still to be admitted,
+        // so a complete job cannot hold a staged ledger.
+        debug_assert!(self.staged.is_none());
         let _ = sess;
         let result = groups_to_result(self.q, &self.agg);
         let stages = match self.stage_meta {
